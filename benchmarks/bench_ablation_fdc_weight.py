@@ -1,0 +1,68 @@
+"""Ablation A1 — the FDC:RDC scaling factor A.
+
+The paper fixes A = 1000 "after some tests ... which produces the best
+result" (Section IV-A-3) without showing the sweep.  This bench regenerates
+it.  A controls the replication/locality trade-off:
+
+* tiny A → facility (storage) cost is negligible → items replicate almost
+  everywhere → instant delivery but massive storage use and dissemination
+  traffic (untenable at the paper's 250-slot capacity over 500 minutes);
+* huge A → storage is precious → single far-away replicas → slow delivery.
+
+A = 1000 buys near-minimal storage footprint while keeping delivery within
+the paper's ≤4 s envelope and Gini < 0.15.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.report import render_table
+from repro.sim.runner import run_experiment
+from repro.sim.scenarios import fdc_weight_scenario
+
+WEIGHTS = (1.0, 10.0, 100.0, 1000.0, 10000.0)
+SEEDS = (0, 1)
+
+
+def test_ablation_fdc_weight(benchmark):
+    def sweep():
+        rows = []
+        for weight in WEIGHTS:
+            cells = [
+                run_experiment(
+                    fdc_weight_scenario(weight, node_count=20, seed=seed)
+                )
+                for seed in SEEDS
+            ]
+            rows.append(
+                [
+                    weight,
+                    float(np.mean([c.metrics.storage_gini() for c in cells])),
+                    float(np.mean([c.metrics.average_delivery_time() for c in cells])),
+                    float(np.mean([np.mean(c.metrics.storage_used) for c in cells])),
+                    float(np.mean([c.metrics.average_node_megabytes() for c in cells])),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            "Ablation A1 — FDC weight A (paper fixes A = 1000)",
+            ["A", "Gini", "delivery (s)", "slots used/node", "MB/node"],
+            rows,
+        )
+    )
+    by_weight = {row[0]: row for row in rows}
+    # Storage footprint shrinks as A grows (the point of the FDC term).
+    assert by_weight[1000.0][3] < 0.5 * by_weight[1.0][3]
+    # So does dissemination traffic.
+    assert by_weight[1000.0][4] < by_weight[1.0][4]
+    # The cost: delivery slows as replication thins...
+    assert by_weight[1000.0][2] >= by_weight[1.0][2]
+    # ...but stays within the paper's ≤4 s envelope at the chosen weight.
+    assert by_weight[1000.0][2] < 4.0
+    # And fairness stays within the paper's bound.
+    assert by_weight[1000.0][1] < 0.15

@@ -1,0 +1,127 @@
+"""Fig. 6 reproduction — remaining battery vs blocks mined, PoW vs PoS.
+
+The paper mines on a fully charged Galaxy S8 with PoW at difficulty 4
+(25 s average block time) and PoS tuned to the same block time, recording
+the remaining battery after each block.  Reported anchors:
+
+* PoW: ≈4 blocks per 1 % battery; >50 % battery gone in 84 minutes.
+* PoS: ≈11 blocks per 1 % battery; <20 % battery gone in 84 minutes.
+* Headline: PoS uses ≈64 % less energy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pos import compute_amendment, compute_hit, mining_delay
+from repro.core.pow import PowMiner
+from repro.energy.meter import EnergyMeter
+from repro.metrics.report import render_table
+
+BLOCK_TIME = 25.0  # seconds, both algorithms (paper Section VI-C)
+SESSION_MINUTES = 84.0  # the paper's run length
+M = 2**64
+
+
+def _mine_pow_session(seed: int):
+    """Battery series for an 84-minute PoW session."""
+    rng = np.random.default_rng(seed)
+    meter = EnergyMeter()
+    miner = PowMiner(meter, difficulty=4)
+    series = []
+    elapsed = 0.0
+    while elapsed < SESSION_MINUTES * 60 and not meter.depleted:
+        result = miner.mine_block(rng)
+        elapsed += result.duration_seconds
+        series.append((len(series) + 1, elapsed, meter.remaining_percent))
+    return series
+
+
+def _mine_pos_session(seed: int):
+    """Battery series for an 84-minute PoS session at the same block time."""
+    meter = EnergyMeter()
+    amendment = compute_amendment(M, 1, BLOCK_TIME, 1.0)
+    series = []
+    elapsed = 0.0
+    pos_hash = f"fig6-seed-{seed}"
+    while elapsed < SESSION_MINUTES * 60 and not meter.depleted:
+        hit = compute_hit(pos_hash, "fig6-account", M)
+        pos_hash = pos_hash + "x"
+        delay = mining_delay(hit, 1.0, 1.0, amendment)
+        meter.charge_pos_ticks(delay)
+        elapsed += delay
+        series.append((len(series) + 1, elapsed, meter.remaining_percent))
+    return series
+
+
+def test_fig6_battery_drain(benchmark):
+    pow_series, pos_series = benchmark.pedantic(
+        lambda: (_mine_pow_session(0), _mine_pos_session(0)), rounds=1, iterations=1
+    )
+    # Print the figure as a sampled series.
+    rows = []
+    for minutes in range(0, int(SESSION_MINUTES) + 1, 12):
+        t = minutes * 60
+        pow_point = next(
+            (p for p in reversed(pow_series) if p[1] <= t), (0, 0.0, 100.0)
+        )
+        pos_point = next(
+            (p for p in reversed(pos_series) if p[1] <= t), (0, 0.0, 100.0)
+        )
+        rows.append([minutes, pow_point[0], pow_point[2], pos_point[0], pos_point[2]])
+    print()
+    print(
+        render_table(
+            "Fig. 6 — remaining battery vs mining time (Galaxy S8 model)",
+            ["minutes", "PoW blocks", "PoW battery %", "PoS blocks", "PoS battery %"],
+            rows,
+        )
+    )
+    from repro.metrics.ascii_plot import series_plot
+
+    print()
+    print(
+        series_plot(
+            [row[0] for row in rows],
+            [[row[2] for row in rows], [row[4] for row in rows]],
+            ["PoW battery %", "PoS battery %"],
+        )
+    )
+
+    pow_final = pow_series[-1][2]
+    pos_final = pos_series[-1][2]
+    pow_blocks = pow_series[-1][0]
+    pos_blocks = pos_series[-1][0]
+    pow_blocks_per_percent = pow_blocks / (100.0 - pow_final)
+    pos_blocks_per_percent = pos_blocks / (100.0 - pos_final)
+    print(f"\nPoW: {pow_blocks_per_percent:.1f} blocks per 1% battery "
+          f"(paper: ~4); consumed {100 - pow_final:.1f}% in 84 min (paper: >50%)")
+    print(f"PoS: {pos_blocks_per_percent:.1f} blocks per 1% battery "
+          f"(paper: ~11); consumed {100 - pos_final:.1f}% in 84 min (paper: <20%)")
+
+    # Paper anchors (generous tolerance: attempt counts are sampled).
+    assert pow_blocks_per_percent == pytest.approx(4.0, rel=0.3)
+    assert pos_blocks_per_percent == pytest.approx(11.0, rel=0.3)
+    assert 100.0 - pow_final > 50.0
+    assert 100.0 - pos_final < 20.0
+
+
+def test_fig6_energy_saving_headline(benchmark):
+    def saving():
+        rng = np.random.default_rng(1)
+        pow_meter = EnergyMeter()
+        pow_miner = PowMiner(pow_meter, difficulty=4)
+        for _ in range(100):
+            pow_miner.mine_block(rng)
+        pow_per_block = pow_meter.total_consumed() / 100
+
+        pos_meter = EnergyMeter()
+        pos_meter.charge_pos_ticks(100 * BLOCK_TIME)
+        pos_per_block = pos_meter.total_consumed() / 100
+        return 100.0 * (1.0 - pos_per_block / pow_per_block)
+
+    value = benchmark.pedantic(saving, rounds=1, iterations=1)
+    print(f"\nPoS consumes {value:.1f}% less energy per block than PoW "
+          f"(paper: 64% less)")
+    assert value == pytest.approx(64.0, abs=8.0)

@@ -1,0 +1,72 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive simulation sweeps are session-scoped so the per-panel
+benchmarks (Fig. 4a/b/c share one sweep; Fig. 5a/b share another) run the
+workload once and each render their own panel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.metrics.collector import RunMetrics
+from repro.sim.runner import run_experiment
+from repro.sim.scenarios import (
+    PAPER_DATA_RATES,
+    PAPER_NODE_COUNTS,
+    data_amount_scenario,
+    placement_scenario,
+)
+
+#: Seeds averaged per cell ("All results are the average of 2 simulations").
+PAPER_SEED_COUNT = 2
+
+
+def _average(metrics_list):
+    """Average the headline scalars over repeated runs of one cell."""
+    return {
+        "avg_node_mb": sum(m.average_node_megabytes() for m in metrics_list)
+        / len(metrics_list),
+        "gini": sum(m.storage_gini() for m in metrics_list) / len(metrics_list),
+        "delivery": sum(m.average_delivery_time() for m in metrics_list)
+        / len(metrics_list),
+        "failed": sum(m.failed_requests for m in metrics_list),
+        "served": sum(len(m.delivery_times) for m in metrics_list),
+        "height": sum(m.chain_height() for m in metrics_list) / len(metrics_list),
+        "interval": sum(m.mean_block_interval() for m in metrics_list)
+        / len(metrics_list),
+    }
+
+
+@pytest.fixture(scope="session")
+def fig4_sweep() -> Dict[Tuple[int, float], dict]:
+    """The Fig. 4 grid: node count × data rate, averaged over seeds."""
+    results: Dict[Tuple[int, float], dict] = {}
+    for node_count in PAPER_NODE_COUNTS:
+        for rate in PAPER_DATA_RATES:
+            cell = [
+                run_experiment(
+                    data_amount_scenario(node_count, rate, seed=seed)
+                ).metrics
+                for seed in range(PAPER_SEED_COUNT)
+            ]
+            results[(node_count, rate)] = _average(cell)
+    return results
+
+
+@pytest.fixture(scope="session")
+def fig5_sweep() -> Dict[Tuple[str, int], dict]:
+    """The Fig. 5 grid: placement strategy × node count (1 item/minute)."""
+    results: Dict[Tuple[str, int], dict] = {}
+    for solver in ("greedy", "random"):
+        for node_count in PAPER_NODE_COUNTS:
+            cell = [
+                run_experiment(
+                    placement_scenario(node_count, solver, seed=seed)
+                ).metrics
+                for seed in range(PAPER_SEED_COUNT)
+            ]
+            results[(solver, node_count)] = _average(cell)
+    return results

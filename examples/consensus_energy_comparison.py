@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""PoW vs PoS on an edge device — the paper's Fig. 6 experiment, runnable.
+
+Simulates the paper's smartphone test: a fully charged Galaxy S8 mining
+with Proof of Work (difficulty 4, ~25 s per block) and then with the new
+Proof of Stake at the same block rate, printing the remaining battery as
+blocks are mined, plus a difficulty sweep showing PoW's exponential cost.
+
+Run:  python examples/consensus_energy_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pos import compute_amendment, compute_hit, mining_delay
+from repro.core.pow import PowMiner
+from repro.energy import EnergyMeter
+from repro.metrics import print_table
+
+M = 2**64
+BLOCK_TIME = 25.0
+
+
+def pow_session(minutes: float, difficulty: int = 4, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    meter = EnergyMeter()
+    miner = PowMiner(meter, difficulty=difficulty)
+    elapsed, blocks = 0.0, 0
+    while elapsed < minutes * 60 and not meter.depleted:
+        result = miner.mine_block(rng)
+        elapsed += result.duration_seconds
+        blocks += 1
+    return blocks, meter.remaining_percent
+
+
+def pos_session(minutes: float, seed: int = 0):
+    meter = EnergyMeter()
+    amendment = compute_amendment(M, 1, BLOCK_TIME, 1.0)
+    elapsed, blocks = 0.0, 0
+    pos_hash = f"session-{seed}"
+    while elapsed < minutes * 60 and not meter.depleted:
+        hit = compute_hit(pos_hash, "device-account", M)
+        pos_hash += "x"
+        delay = mining_delay(hit, 1.0, 1.0, amendment)
+        meter.charge_pos_ticks(delay)
+        elapsed += delay
+        blocks += 1
+    return blocks, meter.remaining_percent
+
+
+def main() -> None:
+    print("=== Mining energy on a Galaxy S8 (simulated battery) ===")
+
+    rows = []
+    for minutes in (12, 24, 36, 48, 60, 72, 84):
+        pow_blocks, pow_battery = pow_session(minutes)
+        pos_blocks, pos_battery = pos_session(minutes)
+        rows.append(
+            [minutes, pow_blocks, round(pow_battery, 1), pos_blocks, round(pos_battery, 1)]
+        )
+    print_table(
+        "Fig. 6 — remaining battery vs mining time (PoW difficulty 4, "
+        "both at ~25 s/block)",
+        ["minutes", "PoW blocks", "PoW battery %", "PoS blocks", "PoS battery %"],
+        rows,
+    )
+
+    # The paper: "The computational complexity grows exponentially in PoW
+    # but remains almost the same for PoS."
+    sweep = []
+    for difficulty in (1, 2, 3, 4, 5):
+        rng = np.random.default_rng(difficulty)
+        meter = EnergyMeter()
+        miner = PowMiner(meter, difficulty=difficulty)
+        for _ in range(20):
+            miner.mine_block(rng)
+        sweep.append(
+            [difficulty, 16**difficulty, round(meter.total_consumed() / 20, 2)]
+        )
+    pos_meter = EnergyMeter()
+    pos_meter.charge_pos_ticks(20 * BLOCK_TIME)
+    print_table(
+        "PoW difficulty sweep (energy per block, J) vs PoS",
+        ["difficulty", "expected hashes", "J/block"],
+        sweep + [["PoS (any)", "—", round(pos_meter.total_consumed() / 20, 2)]],
+    )
+
+    pow_blocks, pow_battery = pow_session(84)
+    pos_blocks, pos_battery = pos_session(84)
+    print(f"After 84 minutes: PoW consumed {100 - pow_battery:.1f}% "
+          f"({pow_blocks} blocks), PoS consumed {100 - pos_battery:.1f}% "
+          f"({pos_blocks} blocks).")
+    print("PoS mines comparable blocks on a small fraction of the battery —")
+    print("the property that makes on-device consensus viable at the edge.")
+
+
+if __name__ == "__main__":
+    main()

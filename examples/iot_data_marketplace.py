@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""IoT sensing-as-a-service marketplace (the paper's §I motivating scenario).
+
+A neighbourhood of IoT sensors sells readings to subscribers: air-quality
+stations, traffic cameras, and smart-home energy meters publish for-profit
+data; paying consumers (10 % of nodes per item) fetch it through the
+blockchain's metadata index, with micro-payment-style incentives credited
+to producers, storers, and miners on-chain.
+
+The script runs a two-hour market day and prints a marketplace report:
+catalogue, per-node earnings, delivery quality, and fairness.
+
+Run:  python examples/iot_data_marketplace.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import replace
+
+from repro.core import PAPER_CONFIG
+from repro.metrics import gini_coefficient, print_table
+from repro.sim import ExperimentSpec, run_experiment
+
+
+def main() -> None:
+    print("=== IoT data marketplace: 20 sensors, 2-hour market day ===")
+
+    config = replace(
+        PAPER_CONFIG,
+        data_items_per_minute=2.0,  # a busy sensing neighbourhood
+        requester_fraction=0.10,  # paying subscribers per item
+    )
+    spec = ExperimentSpec(
+        node_count=20, config=config, seed=7, duration_minutes=120,
+        mobility_epoch_minutes=10.0,
+    )
+    result = run_experiment(spec)
+    metrics = result.metrics
+    chain = result.cluster.longest_chain_node().chain
+
+    # --- catalogue -----------------------------------------------------------
+    catalogue = Counter(
+        item.data_type for block in chain.blocks for item in block.metadata_items
+    )
+    print_table(
+        "Published catalogue",
+        ["data type", "items on-chain"],
+        sorted(catalogue.items(), key=lambda kv: -kv[1]),
+    )
+
+    # --- producer / miner earnings -------------------------------------------
+    state = chain.state
+    now = result.cluster.engine.now
+    rows = []
+    for node_id in result.cluster.node_ids:
+        rows.append(
+            [
+                node_id,
+                metrics.blocks_mined.get(node_id, 0),
+                state.stored_items(node_id, now),
+                round(state.tokens(node_id), 2),
+            ]
+        )
+    print_table(
+        "Per-device ledger (tokens = mining + storage incentives)",
+        ["node", "blocks mined", "items stored", "token balance"],
+        rows,
+    )
+
+    # --- marketplace quality ---------------------------------------------------
+    served = len(metrics.delivery_times)
+    print_table(
+        "Marketplace quality",
+        ["metric", "value"],
+        [
+            ["items published", metrics.data_items_produced],
+            ["subscriber fetches served", served],
+            ["fetches failed", metrics.failed_requests],
+            ["avg delivery time (s)", round(metrics.average_delivery_time(), 3)],
+            ["p95 delivery time (s)", round(metrics.delivery_summary().p95, 3)],
+            ["storage fairness (Gini)", round(metrics.storage_gini(), 4)],
+            ["token fairness (Gini)", round(
+                gini_coefficient([state.tokens(n) for n in result.cluster.node_ids]), 4
+            )],
+            ["avg traffic per device (MB)", round(metrics.average_node_megabytes(), 1)],
+            ["blocks mined", metrics.chain_height()],
+        ],
+    )
+    print("Every payment, placement, and mining win above is derived from the")
+    print("chain itself — any device can re-validate the full history.")
+
+
+if __name__ == "__main__":
+    main()

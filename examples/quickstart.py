@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: spin up an edge blockchain, trade one data item, inspect it.
+
+Builds a 10-node pervasive-edge network (the paper's 300 m × 300 m field),
+lets one IoT node publish an air-quality reading, mines it into a block via
+the new Proof of Stake, and fetches it from a consumer node — printing what
+happened at each step.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import PAPER_CONFIG
+from repro.sim import build_cluster
+
+
+def main() -> None:
+    print("=== Edge blockchain quickstart ===\n")
+
+    # 1. Build a 10-node cluster with the paper's parameters (70 m radio
+    #    range, 30 m mobility, 250 storage slots, 60 s block interval).
+    cluster = build_cluster(node_count=10, config=PAPER_CONFIG, seed=42)
+    cluster.start()
+    engine = cluster.engine
+    print(f"built a connected network of {len(cluster.nodes)} edge devices")
+    print(f"node 0 account address: {cluster.accounts[0].address}\n")
+
+    # 2. Node 3 publishes a signed air-quality reading (1 MB of sensor data,
+    #    described on-chain by a ~300 B metadata item).
+    producer = cluster.nodes[3]
+    metadata = producer.produce_data(
+        data_type="AirQuality/PM2.5",
+        location="NewYork,NY/40.72,-74.00",
+        valid_time_minutes=1440,
+    )
+    print(f"node 3 published data item {metadata.data_id}")
+    print(f"  producer signature valid: {metadata.verify_signature()}")
+
+    # 3. Let the PoS lottery run for a few block intervals: some node's
+    #    growing target R_i = S_i·Q_i·t·B crosses its hit and it mines the
+    #    block, choosing storing nodes by solving the fair-storage UFL.
+    engine.run_until(engine.now + 3 * PAPER_CONFIG.expected_block_interval)
+    chain = cluster.longest_chain_node().chain
+    print(f"\nchain height after 3 block intervals: {chain.height}")
+    for block in chain.blocks[1:]:
+        print(
+            f"  block {block.index}: miner=node {block.miner}, "
+            f"stored on {list(block.storing_nodes)}, "
+            f"{len(block.metadata_items)} metadata item(s), "
+            f"{block.wire_size()} bytes"
+        )
+
+    packed = chain.metadata_of(metadata.data_id)
+    print(f"\ndata item placed on nodes {list(packed.storing_nodes)} "
+          f"(chosen by the FDC+RDC facility-location solver)")
+
+    # 4. A consumer requests the data: nearest replica serves 1 MB.
+    engine.run_until(engine.now + 30)  # let dissemination finish
+    consumer = cluster.nodes[8]
+    consumer.request_data(metadata.data_id)
+    engine.run_until(engine.now + 10)
+    delivery = consumer.delivery_times[-1]
+    print(f"node 8 fetched the data item in {delivery * 1000:.0f} ms")
+
+    # 5. Ledger state: who earned what.
+    state = chain.state
+    print("\ntoken balances (mining + storage incentives):")
+    for node_id in cluster.node_ids:
+        tokens = state.tokens(node_id)
+        stored = state.stored_items(node_id, engine.now)
+        print(f"  node {node_id}: S={tokens:.1f} tokens, Q={stored} stored items")
+
+    traffic = cluster.network.trace
+    print(f"\ntotal network traffic: {traffic.total_bytes() / 1e6:.2f} MB "
+          f"across {traffic.total_messages()} link transmissions")
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Vehicular road-information market — the paper's §I vehicle scenario.
+
+"Vehicles can sell road information directly to peer vehicles in edge
+environments without a trusted cloud backend."  This example stresses the
+parts of the system that mobility makes hard:
+
+* high mobility ranges (vehicles wander much further than phones),
+* short-lived data (a hazard report is stale in half an hour),
+* vehicles dropping off the network (out of radio range) and recovering
+  missed blocks through the recent-block cache when they return.
+
+Run:  python examples/vehicular_roadinfo_market.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core import PAPER_CONFIG
+from repro.metrics import print_table
+from repro.sim import ChurnSpec, ExperimentSpec, run_experiment
+
+
+def main() -> None:
+    print("=== Vehicular road-info market: 25 vehicles, 90 minutes ===")
+
+    config = replace(
+        PAPER_CONFIG,
+        mobility_range=60.0,  # vehicles roam far further than phones
+        default_valid_time_minutes=30.0,  # hazard reports go stale fast
+        data_items_per_minute=2.0,
+        expected_block_interval=30.0,  # faster consensus for fresher ledger
+        recent_cache_capacity=15,  # generous recent cache for churny fleet
+    )
+    spec = ExperimentSpec(
+        node_count=25,
+        config=config,
+        seed=11,
+        duration_minutes=90,
+        mobility_epoch_minutes=5.0,  # topology churns quickly
+        churn=ChurnSpec(  # vehicles leave radio coverage and return
+            node_fraction=0.4, events_per_node=2.0, mean_downtime_seconds=120.0
+        ),
+    )
+    result = run_experiment(spec)
+    metrics = result.metrics
+    chain = result.cluster.longest_chain_node().chain
+
+    expired_on_chain = sum(
+        1
+        for block in chain.blocks
+        for item in block.metadata_items
+        if item.is_expired(result.cluster.engine.now)
+    )
+    total_on_chain = sum(len(b.metadata_items) for b in chain.blocks)
+
+    print_table(
+        "Road-information ledger",
+        ["metric", "value"],
+        [
+            ["hazard/road reports published", metrics.data_items_produced],
+            ["reports packed on-chain", total_on_chain],
+            ["reports already expired (30 min TTL)", expired_on_chain],
+            ["blocks mined", metrics.chain_height()],
+            ["mean block interval (s)", round(metrics.mean_block_interval(), 1)],
+        ],
+    )
+
+    print_table(
+        "Fleet connectivity & recovery",
+        ["metric", "value"],
+        [
+            ["vehicles that dropped offline", sum(
+                1 for n in result.cluster.nodes.values()
+                if n.counters.recoveries_completed > 0
+            )],
+            ["missed-block recoveries completed", len(metrics.recovery_durations)],
+            ["mean recovery time (s)", round(metrics.mean_recovery_duration(), 1)
+             if metrics.recovery_durations else "n/a"],
+            ["recovery traffic (KB)", round(
+                (metrics.category_bytes.get("block_recovery", 0)
+                 + metrics.category_bytes.get("chain_sync", 0)) / 1e3, 1
+            )],
+        ],
+    )
+
+    print_table(
+        "Market quality under mobility",
+        ["metric", "value"],
+        [
+            ["road-info fetches served", len(metrics.delivery_times)],
+            ["fetches failed", metrics.failed_requests],
+            ["avg delivery time (s)", round(metrics.average_delivery_time(), 3)],
+            ["storage fairness (Gini)", round(metrics.storage_gini(), 4)],
+            ["avg traffic per vehicle (MB)", round(metrics.average_node_megabytes(), 1)],
+        ],
+    )
+    print("Vehicles recover missed blocks from nearby peers' recent-block")
+    print("caches (Section IV-C) instead of re-downloading the whole chain.")
+
+
+if __name__ == "__main__":
+    main()

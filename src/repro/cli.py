@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``  — one experiment with explicit parameters; prints the summary
+  and optionally archives it as JSON/CSV.
+* ``fig4`` / ``fig5`` / ``fig6`` — regenerate a paper figure from the
+  terminal (the benchmarks do the same under pytest).
+* ``sweep`` — a node-count × data-rate grid with export.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.core.config import PAPER_CONFIG
+from repro.metrics.export import metrics_to_record, write_csv, write_json
+from repro.metrics.report import render_table
+from repro.sim.runner import ExperimentSpec, run_experiment
+from repro.sim.scenarios import data_amount_scenario, placement_scenario
+
+
+def _print_run_summary(title: str, metrics) -> None:
+    print()
+    print(
+        render_table(
+            title,
+            ["metric", "value"],
+            [
+                ["chain height", metrics.chain_height()],
+                ["mean block interval (s)", round(metrics.mean_block_interval(), 2)],
+                ["avg delivery time (s)", round(metrics.average_delivery_time(), 3)],
+                ["deliveries / failed", f"{len(metrics.delivery_times)} / {metrics.failed_requests}"],
+                ["storage Gini", round(metrics.storage_gini(), 4)],
+                ["avg traffic per node (MB)", round(metrics.average_node_megabytes(), 2)],
+                ["data items produced", metrics.data_items_produced],
+            ],
+        )
+    )
+
+
+def _export(records, json_path: Optional[str], csv_path: Optional[str]) -> None:
+    if json_path:
+        print(f"wrote {write_json(records, json_path)}")
+    if csv_path:
+        print(f"wrote {write_csv(records, csv_path)}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = replace(
+        PAPER_CONFIG,
+        data_items_per_minute=args.rate,
+        placement_solver=args.solver,
+        expected_block_interval=args.block_interval,
+    )
+    spec = ExperimentSpec(
+        node_count=args.nodes,
+        config=config,
+        seed=args.seed,
+        duration_minutes=args.minutes,
+    )
+    result = run_experiment(spec)
+    _print_run_summary(
+        f"Run: {args.nodes} nodes, {args.minutes:g} min, "
+        f"{args.rate:g} items/min, solver={args.solver}, seed={args.seed}",
+        result.metrics,
+    )
+    record = metrics_to_record(
+        result.metrics, seed=args.seed, rate=args.rate, solver=args.solver
+    )
+    _export([record], args.json, args.csv)
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    records = []
+    rows = []
+    for nodes in args.node_counts:
+        for rate in args.rates:
+            metrics = run_experiment(
+                data_amount_scenario(nodes, rate, seed=args.seed)
+            ).metrics
+            records.append(metrics_to_record(metrics, rate=rate, seed=args.seed))
+            rows.append(
+                [
+                    nodes,
+                    rate,
+                    round(metrics.average_node_megabytes(), 1),
+                    round(metrics.storage_gini(), 4),
+                    round(metrics.average_delivery_time(), 3),
+                ]
+            )
+    print()
+    print(
+        render_table(
+            "Fig. 4 — transmission / Gini / delivery under data amounts",
+            ["nodes", "items/min", "MB/node", "Gini", "delivery (s)"],
+            rows,
+        )
+    )
+    _export(records, args.json, args.csv)
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    records = []
+    rows = []
+    for nodes in args.node_counts:
+        cells = {}
+        for solver in ("greedy", "random"):
+            metrics = run_experiment(
+                placement_scenario(nodes, solver, seed=args.seed)
+            ).metrics
+            cells[solver] = metrics
+            records.append(metrics_to_record(metrics, solver=solver, seed=args.seed))
+        rows.append(
+            [
+                nodes,
+                round(cells["greedy"].average_delivery_time(), 3),
+                round(cells["random"].average_delivery_time(), 3),
+                round(cells["greedy"].average_node_megabytes(), 1),
+                round(cells["random"].average_node_megabytes(), 1),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            "Fig. 5 — optimal vs random placement",
+            ["nodes", "opt delivery", "rand delivery", "opt MB/node", "rand MB/node"],
+            rows,
+        )
+    )
+    _export(records, args.json, args.csv)
+    return 0
+
+
+def cmd_fig6(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.pos import compute_amendment, compute_hit, mining_delay
+    from repro.core.pow import PowMiner
+    from repro.energy.meter import EnergyMeter
+
+    rng = np.random.default_rng(args.seed)
+    pow_meter = EnergyMeter()
+    pow_miner = PowMiner(pow_meter, difficulty=args.difficulty)
+    pos_meter = EnergyMeter()
+    amendment = compute_amendment(2**64, 1, 25.0, 1.0)
+
+    rows = []
+    pow_elapsed = pos_elapsed = 0.0
+    pow_blocks = pos_blocks = 0
+    pos_hash = f"cli-{args.seed}"
+    for checkpoint in range(12, args.minutes + 1, 12):
+        while pow_elapsed < checkpoint * 60 and not pow_meter.depleted:
+            result = pow_miner.mine_block(rng)
+            pow_elapsed += result.duration_seconds
+            pow_blocks += 1
+        while pos_elapsed < checkpoint * 60:
+            hit = compute_hit(pos_hash, "cli-account", 2**64)
+            pos_hash += "x"
+            delay = mining_delay(hit, 1.0, 1.0, amendment)
+            pos_meter.charge_pos_ticks(delay)
+            pos_elapsed += delay
+            pos_blocks += 1
+        rows.append(
+            [
+                checkpoint,
+                pow_blocks,
+                round(pow_meter.remaining_percent, 1),
+                pos_blocks,
+                round(pos_meter.remaining_percent, 1),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            f"Fig. 6 — battery vs mining time (PoW difficulty {args.difficulty})",
+            ["minutes", "PoW blocks", "PoW battery %", "PoS blocks", "PoS battery %"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Edge blockchain reproduction (ICDCS 2019) — experiment CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("--nodes", type=int, default=20)
+    run.add_argument("--minutes", type=float, default=60.0)
+    run.add_argument("--rate", type=float, default=1.0, help="data items per minute")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--solver", default="greedy",
+                     choices=["greedy", "local_search", "lp_rounding", "random"])
+    run.add_argument("--block-interval", type=float, default=60.0)
+    run.add_argument("--json", help="write metrics record to this JSON file")
+    run.add_argument("--csv", help="write metrics record to this CSV file")
+    run.set_defaults(func=cmd_run)
+
+    fig4 = sub.add_parser("fig4", help="regenerate Fig. 4 (data-amount sweep)")
+    fig4.add_argument("--node-counts", type=int, nargs="+", default=[10, 30, 50])
+    fig4.add_argument("--rates", type=float, nargs="+", default=[1.0, 3.0])
+    fig4.add_argument("--seed", type=int, default=0)
+    fig4.add_argument("--json")
+    fig4.add_argument("--csv")
+    fig4.set_defaults(func=cmd_fig4)
+
+    fig5 = sub.add_parser("fig5", help="regenerate Fig. 5 (placement comparison)")
+    fig5.add_argument("--node-counts", type=int, nargs="+", default=[10, 30, 50])
+    fig5.add_argument("--seed", type=int, default=0)
+    fig5.add_argument("--json")
+    fig5.add_argument("--csv")
+    fig5.set_defaults(func=cmd_fig5)
+
+    fig6 = sub.add_parser("fig6", help="regenerate Fig. 6 (PoW vs PoS battery)")
+    fig6.add_argument("--minutes", type=int, default=84)
+    fig6.add_argument("--difficulty", type=int, default=4)
+    fig6.add_argument("--seed", type=int, default=0)
+    fig6.set_defaults(func=cmd_fig6)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

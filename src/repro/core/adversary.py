@@ -1,0 +1,97 @@
+"""Malicious-node behaviours (the paper's Section III-B-2 threat).
+
+"another malicious behavior is to deny storing or offering data to the
+demanding user ... If a node requests data and does not get any response,
+it then claims that the data is invalid.  Everyone will be informed of
+this information, and this data storage will be marked as invalid.  At the
+same time, there are always replicas for certain data.  Unless all
+replicas of this piece of data are stored at malicious nodes, there will
+always be available data pieces."
+
+The claim message itself lives in :mod:`repro.core.messages`
+(:class:`~repro.core.messages.InvalidStorageClaim`); honest
+:class:`~repro.core.node.EdgeNode` instances broadcast one whenever a
+storing node refuses them and skip claimed-invalid replicas thereafter.
+This module provides the adversaries the tests run against.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import CATEGORY_DATA_RESPONSE, DataNack
+from repro.core.node import EdgeNode
+
+
+class DenyingNode(EdgeNode):
+    """A *rational* free-rider: hoards storage credit, refuses to serve
+    other producers' data — but still sells its own (that is where its
+    revenue comes from).
+
+    It mines and relays blocks normally, so the chain keeps crediting it
+    Q and S for storage assignments it never honours — the exploit the
+    claim protocol exposes.
+    """
+
+    def _refuses(self, data_id: str) -> bool:
+        return data_id not in self.own_payloads
+
+    def _on_data_request(self, source: int, request) -> None:  # type: ignore[override]
+        if not self._refuses(request.data_id):
+            super()._on_data_request(source, request)
+            return
+        self.counters.data_nacks_sent += 1
+        nack = DataNack(data_id=request.data_id, request_id=request.request_id)
+        self.network.send(
+            self.node_id,
+            request.requester,
+            nack,
+            nack.wire_size(),
+            CATEGORY_DATA_RESPONSE,
+        )
+
+    def _on_dissemination_request(self, request) -> None:  # type: ignore[override]
+        if not self._refuses(request.data_id):
+            super()._on_dissemination_request(request)
+
+
+class CronyMiner(EdgeNode):
+    """A miner that assigns every storage incentive to itself.
+
+    Instead of solving the fair-placement UFL, its blocks list the miner
+    as the sole storing node for every item, the block, and the recent
+    cache — inflating its own Q (and tokens) to snowball future mining
+    advantage.  With ``validate_allocations`` enabled, honest nodes
+    re-derive the placements and reject these blocks.
+    """
+
+    def _build_block(self, parent):  # type: ignore[override]
+        import dataclasses
+
+        block = super()._build_block(parent)
+        selfish_items = tuple(
+            item.with_storing_nodes((self.node_id,))
+            for item in block.metadata_items
+        )
+        return dataclasses.replace(
+            block,
+            metadata_items=selfish_items,
+            storing_nodes=(self.node_id,),
+            recent_cache_nodes=(self.node_id,),
+            current_hash="",
+        )
+
+
+class SilentNode(EdgeNode):
+    """A harsher adversary: drops foreign data requests without even a NACK.
+
+    Requesters cannot distinguish silence from packet loss, so failover
+    relies on the response timeout (the paper's "does not get any response
+    → claims the data is invalid" rule) rather than NACK-driven retry.
+    """
+
+    def _on_data_request(self, source: int, request) -> None:  # type: ignore[override]
+        if request.data_id in self.own_payloads:
+            super()._on_data_request(source, request)
+
+    def _on_dissemination_request(self, request) -> None:  # type: ignore[override]
+        if request.data_id in self.own_payloads:
+            super()._on_dissemination_request(request)

@@ -1,0 +1,121 @@
+"""Storage allocation: which nodes store a data item or block.
+
+Implements Section IV-A/B: for each item, build the UFL instance from the
+current chain-derived storage state (FDC) and topology (RDC), solve it with
+the configured solver, and return the open facilities as the storing nodes.
+
+The allocator is deterministic given the same chain state and topology, so
+the miner's placement decision can be reproduced by any validator.  The
+``random`` solver is the Fig. 5 baseline: it opens as many replicas as the
+optimal solver would have, uniformly at random.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.errors import AllocationError
+from repro.facility.costs import build_storage_ufl
+from repro.facility.greedy import solve_greedy
+from repro.facility.local_search import solve_local_search
+from repro.facility.lp_rounding import solve_lp_rounding
+from repro.facility.problem import UFLProblem, UFLSolution
+from repro.facility.random_baseline import solve_random
+
+
+@dataclass(frozen=True)
+class AllocationDecision:
+    """The outcome of placing one item."""
+
+    storing_nodes: Tuple[int, ...]
+    total_cost: float
+    replica_count: int
+
+
+class AllocationEngine:
+    """Solves the per-item placement problem against live network state."""
+
+    def __init__(self, config: SystemConfig, rng: Optional[np.random.Generator] = None):
+        self.config = config
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        #: Count of placements that needed the least-loaded fallback.
+        self.fallback_placements = 0
+
+    def build_problem(
+        self,
+        used_slots: Sequence[float],
+        total_slots: Sequence[float],
+        hop_matrix: np.ndarray,
+        ranges: Sequence[float],
+        exclude_nodes: Optional[Sequence[int]] = None,
+    ) -> UFLProblem:
+        """The Eq. 3 instance for the current network state."""
+        return build_storage_ufl(
+            used_storage=used_slots,
+            total_storage=total_slots,
+            hop_matrix=hop_matrix,
+            ranges=ranges,
+            fdc_weight=self.config.fdc_weight,
+            exclude_nodes=exclude_nodes,
+        )
+
+    def _solve(self, problem: UFLProblem) -> UFLSolution:
+        solver = self.config.placement_solver
+        if solver == "greedy":
+            return solve_greedy(problem)
+        if solver == "local_search":
+            return solve_local_search(problem)
+        if solver == "lp_rounding":
+            return solve_lp_rounding(problem)
+        if solver == "random":
+            # Replica-matched baseline: random placement with the replica
+            # count the optimal (greedy) solution would have chosen.
+            optimal = solve_greedy(problem)
+            replicas = self.config.random_replicas or optimal.replica_count
+            replicas = min(replicas, len(problem.openable_facilities()))
+            return solve_random(problem, replicas, self._rng)
+        raise AllocationError(f"unknown placement solver: {solver}")
+
+    def place_item(
+        self,
+        used_slots: Sequence[float],
+        total_slots: Sequence[float],
+        hop_matrix: np.ndarray,
+        ranges: Sequence[float],
+        exclude_nodes: Optional[Sequence[int]] = None,
+    ) -> AllocationDecision:
+        """Choose the storing nodes for one data item or block.
+
+        Falls back to the least-loaded reachable node when the UFL instance
+        is infeasible (e.g. nearly all nodes full) — the item still needs at
+        least one replica.  Raises :class:`AllocationError` only when not a
+        single node has a free slot.
+        """
+        problem = self.build_problem(
+            used_slots, total_slots, hop_matrix, ranges, exclude_nodes
+        )
+        if problem.is_feasible():
+            solution = self._solve(problem)
+            return AllocationDecision(
+                storing_nodes=tuple(solution.open_facilities),
+                total_cost=solution.total_cost(problem),
+                replica_count=solution.replica_count,
+            )
+        # Fallback: any node with capacity, preferring the least loaded.
+        candidates = [
+            (used / total, node)
+            for node, (used, total) in enumerate(zip(used_slots, total_slots))
+            if used < total and not (exclude_nodes and node in set(exclude_nodes))
+        ]
+        if not candidates:
+            raise AllocationError("no node has a free storage slot")
+        self.fallback_placements += 1
+        _, chosen = min(candidates)
+        return AllocationDecision(
+            storing_nodes=(chosen,), total_cost=math.inf, replica_count=1
+        )

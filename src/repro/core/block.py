@@ -1,0 +1,143 @@
+"""Blocks of the edge blockchain.
+
+Per Fig. 2 of the paper, a block carries, beyond the usual chain plumbing
+(index, timestamp, previous hash, current hash):
+
+* the **metadata items** packed since the previous block, each annotated
+  with its storing nodes (Section IV-B),
+* the **block storing nodes** — which nodes persist *this* block — plus the
+  storing nodes of the *previous* block, so a chain can be fetched
+  backwards hop by hop (Section IV-B),
+* the **recent-block assignments** — extra nodes told to cache this block
+  in their FIFO recent cache (Section IV-C),
+* the **POSHash** used by the PoS lottery (Eq. 7) and the miner's claimed
+  hit/target inputs so everyone can re-verify the win (Section V-A),
+* the **B amendment** in force for the next inter-block race (Eq. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.core.metadata import MetadataItem
+from repro.crypto.hashing import hash_items
+from repro.crypto.merkle import merkle_root
+
+#: Serialized size of the block header fields (hashes, indices, PoS claim).
+BLOCK_HEADER_BYTES = 256
+
+#: The previous-hash value of the genesis block.
+GENESIS_PREVIOUS_HASH = "0" * 64
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block.  Immutable; ``current_hash`` commits to everything else."""
+
+    index: int
+    timestamp: float
+    previous_hash: str
+    pos_hash: str  # POSHash(t) — Eq. 7 state for the *next* lottery
+    miner: int  # node id of the winner (-1 for genesis)
+    miner_address: str
+    hit: int  # the miner's h_i, re-verifiable from pos_hash of parent
+    target_b: float  # the B amendment used for this block's race
+    metadata_items: Tuple[MetadataItem, ...] = ()
+    storing_nodes: Tuple[int, ...] = ()  # who persists this block
+    previous_storing_nodes: Tuple[int, ...] = ()  # who persists the parent
+    recent_cache_nodes: Tuple[int, ...] = ()  # extra recent-block caching
+    current_hash: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("block index cannot be negative")
+        if self.timestamp < 0:
+            raise ValueError("timestamp cannot be negative")
+        if self.hit < 0:
+            raise ValueError("hit cannot be negative")
+        if not self.current_hash:
+            object.__setattr__(self, "current_hash", self.compute_hash())
+
+    # -- hashing ---------------------------------------------------------------------
+
+    def content_root(self) -> bytes:
+        """Merkle root over the packed metadata items."""
+        leaves = [item.signing_payload() for item in self.metadata_items]
+        return merkle_root(leaves)
+
+    def compute_hash(self) -> str:
+        """The block hash: SHA-256 over header fields and the content root."""
+        return hash_items(
+            "block",
+            self.index,
+            str(self.timestamp),
+            self.previous_hash,
+            self.pos_hash,
+            self.miner,
+            self.miner_address,
+            self.hit,
+            str(self.target_b),
+            self.content_root(),
+            ",".join(map(str, self.storing_nodes)),
+            ",".join(map(str, self.previous_storing_nodes)),
+            ",".join(map(str, self.recent_cache_nodes)),
+        ).hex()
+
+    def hash_is_valid(self) -> bool:
+        return self.current_hash == self.compute_hash()
+
+    # -- properties --------------------------------------------------------------------
+
+    @property
+    def is_genesis(self) -> bool:
+        return self.index == 0
+
+    def wire_size(self) -> int:
+        """Approximate serialised size (paper: average block < 10 KB)."""
+        return (
+            BLOCK_HEADER_BYTES
+            + sum(item.wire_size() for item in self.metadata_items)
+            + 4
+            * (
+                len(self.storing_nodes)
+                + len(self.previous_storing_nodes)
+                + len(self.recent_cache_nodes)
+            )
+        )
+
+    def links_to(self, parent: "Block") -> bool:
+        """Chain-linkage check against the claimed parent."""
+        return (
+            self.index == parent.index + 1
+            and self.previous_hash == parent.current_hash
+            and self.timestamp >= parent.timestamp
+        )
+
+
+def make_genesis(
+    node_ids: Tuple[int, ...],
+    initial_b: float,
+    timestamp: float = 0.0,
+) -> Block:
+    """Build the genesis block.
+
+    All participating nodes store the genesis block (every node keeps at
+    least the last block, Section IV-C, and at genesis that is this one).
+    The genesis POSHash seeds the first lottery.
+    """
+    pos_hash = hash_items("genesis-poshash", *sorted(node_ids)).hex()
+    return Block(
+        index=0,
+        timestamp=timestamp,
+        previous_hash=GENESIS_PREVIOUS_HASH,
+        pos_hash=pos_hash,
+        miner=-1,
+        miner_address="",
+        hit=0,
+        target_b=initial_b,
+        metadata_items=(),
+        storing_nodes=tuple(sorted(node_ids)),
+        previous_storing_nodes=(),
+        recent_cache_nodes=(),
+    )

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the edge blockchain core."""
+
+from __future__ import annotations
+
+
+class EdgeChainError(Exception):
+    """Base class for all protocol-level errors."""
+
+
+class ValidationError(EdgeChainError):
+    """A block, metadata item, or signature failed validation."""
+
+
+class ChainLinkError(ValidationError):
+    """A block does not link to its predecessor (hash/index mismatch)."""
+
+
+class ConsensusError(ValidationError):
+    """A PoS hit/target claim does not verify against chain state."""
+
+
+class StorageError(EdgeChainError):
+    """A storage operation failed (capacity exhausted, unknown item...)."""
+
+
+class AllocationError(EdgeChainError):
+    """The placement problem could not be solved (e.g. all nodes full)."""
+
+
+class SyncError(EdgeChainError):
+    """Block synchronisation failed (unsatisfiable request, bad response)."""

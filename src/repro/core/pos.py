@@ -1,0 +1,152 @@
+"""The paper's Proof-of-Stake mechanism (Section V).
+
+Mechanism recap:
+
+* Every node derives a **hit** from the previous block's POSHash and its own
+  account address (Eq. 7)::
+
+      POSHash(t+1, i) = Hash[POSHash(t) ‖ Account_i]
+      h_i = POSHash(t+1, i) mod M
+
+* Every node has a **target value** ``R_i = S_i · Q_i · t · B`` (Eq. 8)
+  growing with the seconds ``t`` since the previous block; the first node
+  whose ``h_i ≤ R_i`` (Eq. 9) mines the block.
+
+* ``B`` is the **expectation-time amendment** (Eq. 14) keeping the expected
+  inter-block time at ``t0``::
+
+      B = M / ((n+1) · t0 · Ū),     Ū = mean(S_i · Q_i)
+
+Everything is verifiable from public chain state: any node can recompute
+``h_i``, ``S_i``, ``Q_i`` and ``B`` for any other node and reject a block
+whose claim does not hold.
+
+Both mining-time computations are provided: the **analytic** earliest
+satisfying second (used by the event-driven simulation) and the paper's
+literal **per-second polling loop** (Section V-C, used by the energy meter
+and by the test that proves the two agree).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Optional, Tuple
+
+from repro.crypto.hashing import hash_items, hash_to_int
+
+
+def compute_pos_hash(previous_pos_hash_hex: str, account_address: str) -> str:
+    """POSHash(t+1, i) = Hash[POSHash(t) ‖ Account_i] (Eq. 7, first line)."""
+    return hash_items("poshash", previous_pos_hash_hex, account_address).hex()
+
+
+def compute_hit(previous_pos_hash_hex: str, account_address: str, modulus: int) -> int:
+    """h_i = POSHash(t+1, i) mod M (Eq. 7, second line)."""
+    if modulus < 2:
+        raise ValueError("modulus must be at least 2")
+    digest = bytes.fromhex(compute_pos_hash(previous_pos_hash_hex, account_address))
+    return hash_to_int(digest) % modulus
+
+
+def compute_amendment(
+    modulus: int, node_count: int, expected_interval: float, mean_u: float
+) -> float:
+    """The expectation-time amendment B (Eq. 14, taken with equality).
+
+    ``mean_u`` is Ū = (1/n) Σ S_i Q_i.  Raises when no node can mine
+    (Ū = 0) because B would be infinite.
+    """
+    if node_count < 1:
+        raise ValueError("need at least one node")
+    if expected_interval <= 0:
+        raise ValueError("expected interval must be positive")
+    if mean_u <= 0:
+        raise ValueError("mean stake-storage product must be positive")
+    return modulus / ((node_count + 1) * expected_interval * mean_u)
+
+
+def target_value(stake: float, stored: float, elapsed: float, amendment: float) -> float:
+    """R_i = S_i · Q_i · t · B (Eq. 8)."""
+    if elapsed < 0:
+        raise ValueError("elapsed time cannot be negative")
+    return stake * stored * elapsed * amendment
+
+
+def satisfies_target(
+    hit: int, stake: float, stored: float, elapsed: float, amendment: float
+) -> bool:
+    """The mining condition h_i ≤ R_i (Eq. 9).
+
+    Evaluated in exact rational arithmetic: hits are 64-bit integers, and
+    a float product can round across the h = R boundary, which would let
+    miners and validators disagree about the earliest valid second.
+    """
+    if elapsed < 0:
+        raise ValueError("elapsed time cannot be negative")
+    target = (
+        Fraction(stake) * Fraction(stored) * Fraction(elapsed) * Fraction(amendment)
+    )
+    return Fraction(hit) <= target
+
+
+def mining_delay(hit: int, stake: float, stored: float, amendment: float) -> Optional[int]:
+    """Earliest whole second t ≥ 1 at which h_i ≤ S_i·Q_i·t·B.
+
+    This is the closed form of the paper's per-second polling loop
+    (Section V-C): the node's target grows linearly each second until it
+    crosses the hit.  Returns ``None`` when the node can never mine
+    (``S_i·Q_i·B = 0``).
+    """
+    rate = stake * stored * amendment
+    if rate <= 0:
+        return None
+    if hit <= 0:
+        return 1  # the loop checks at t = 1 first
+    # Exact rational arithmetic: float division of a >2^53 hit can be off by
+    # many ULPs, which would return a second at which Eq. 9 does not hold.
+    exact_rate = Fraction(stake) * Fraction(stored) * Fraction(amendment)
+    return max(1, math.ceil(Fraction(hit) / exact_rate))
+
+
+def per_second_mining_loop(
+    hit: int,
+    stake: float,
+    stored: float,
+    amendment: float,
+    max_seconds: int = 1_000_000,
+) -> Iterator[Tuple[int, float, bool]]:
+    """The literal Algorithm of Section V-C, one tick per second.
+
+    Yields ``(t, R_i, satisfied)`` per second until the condition holds or
+    ``max_seconds`` elapses.  Used by the energy meter (each tick costs
+    energy) and by the equivalence test against :func:`mining_delay`.
+    """
+    for t in range(1, max_seconds + 1):
+        target = target_value(stake, stored, float(t), amendment)
+        satisfied = hit <= target
+        yield t, target, satisfied
+        if satisfied:
+            return
+
+
+@dataclass(frozen=True)
+class MiningClaim:
+    """A verifiable statement of why a miner won a block."""
+
+    miner_address: str
+    hit: int
+    stake: float
+    stored: float
+    elapsed: float
+    amendment: float
+
+    def is_valid(self, previous_pos_hash_hex: str, modulus: int) -> bool:
+        """Re-derive the hit and re-check Eq. 9."""
+        expected_hit = compute_hit(previous_pos_hash_hex, self.miner_address, modulus)
+        if expected_hit != self.hit:
+            return False
+        return satisfies_target(
+            self.hit, self.stake, self.stored, self.elapsed, self.amendment
+        )

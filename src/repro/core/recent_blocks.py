@@ -1,0 +1,68 @@
+"""Recent-block storage allocation (Section IV-C).
+
+Recent blocks are the blocks disconnected nodes need most, so beyond the
+block's permanent storing nodes the miner selects *additional* nodes to
+cache the new block in their FIFO recent cache:
+
+    "The node that finds the next block also calculates nodes which need to
+     store one more recent block.  The nodes are chosen by solving the same
+     problem, i.e., the fair and efficient storage problem considering the
+     current situations of the network."
+
+The selection reuses the UFL machinery, excluding nodes that will already
+hold the block (the miner and the block's storing nodes), and the chosen
+nodes earn the same storage incentive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import AllocationEngine
+from repro.core.errors import AllocationError
+
+
+def select_recent_cache_nodes(
+    engine: AllocationEngine,
+    used_slots: Sequence[float],
+    total_slots: Sequence[float],
+    hop_matrix: np.ndarray,
+    ranges: Sequence[float],
+    already_storing: Sequence[int],
+    offline_nodes: Optional[Sequence[int]] = None,
+) -> Tuple[int, ...]:
+    """Pick the extra nodes that cache the new block.
+
+    ``already_storing`` are the block's permanent storing nodes (and the
+    miner); picking them again would waste cache slots, so they are
+    excluded from the facility side.  Returns an empty tuple when no
+    eligible node remains — every node still holds the last block, so
+    recovery stays possible, just less pervasive.
+    """
+    exclude = sorted(set(already_storing) | set(offline_nodes or ()))
+    if len(exclude) >= len(used_slots):
+        return ()
+    try:
+        decision = engine.place_item(
+            used_slots=used_slots,
+            total_slots=total_slots,
+            hop_matrix=hop_matrix,
+            ranges=ranges,
+            exclude_nodes=exclude,
+        )
+    except AllocationError:
+        return ()
+    return decision.storing_nodes
+
+
+def recent_block_coverage(
+    storing_by_node: Sequence[Sequence[int]], block_index: int
+) -> float:
+    """Fraction of nodes holding ``block_index`` — the "pervasiveness" the
+    paper wants to maximise for recent blocks."""
+    if not storing_by_node:
+        return 0.0
+    holders = sum(1 for held in storing_by_node if block_index in held)
+    return holders / len(storing_by_node)

@@ -1,0 +1,117 @@
+"""Missing-block recovery and whole-chain synchronisation (Section IV-D).
+
+Two recovery paths, mirroring Fig. 3 of the paper:
+
+* **Recent-gap recovery** (Node A in the figure): a node that reconnects
+  and sees a block with index > tip+1 buffers it and asks its radio
+  neighbours for the gap.  Because the recent-block allocation keeps fresh
+  blocks pervasive, neighbours usually hold them; a neighbour missing an
+  index forwards the request (bounded TTL) to a node the chain says stores
+  that block, and the holder responds directly to the origin.
+
+* **Whole-chain sync** (Node K): a brand-new or long-offline node requests
+  the full chain from a neighbour and adopts it via the longest-chain rule.
+
+:class:`SyncState` tracks one node's in-flight recovery: buffered
+out-of-order blocks, outstanding requested indices, and assembly of
+contiguous runs that can be appended to the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.block import Block
+
+
+@dataclass
+class SyncState:
+    """Per-node recovery bookkeeping."""
+
+    #: Blocks received ahead of the tip, keyed by index.
+    buffered: Dict[int, Block] = field(default_factory=dict)
+    #: Indices currently requested and not yet received.
+    outstanding: Set[int] = field(default_factory=set)
+    #: Simulation time the current recovery started (None when idle).
+    started_at: Optional[float] = None
+    #: Completed recovery durations (for the recovery-latency metrics).
+    completed_durations: List[float] = field(default_factory=list)
+    #: Whether this recovery already escalated to a whole-chain request
+    #: (fork detected while draining); prevents request storms.
+    chain_requested: bool = False
+
+    @property
+    def recovering(self) -> bool:
+        return self.started_at is not None
+
+    def begin(self, now: float) -> None:
+        if self.started_at is None:
+            self.started_at = now
+
+    def buffer_block(self, block: Block) -> None:
+        """Hold an out-of-order block until the gap below it fills."""
+        existing = self.buffered.get(block.index)
+        if existing is None:
+            self.buffered[block.index] = block
+        self.outstanding.discard(block.index)
+
+    def missing_below(self, tip_index: int) -> List[int]:
+        """Gap indices between the tip and the highest buffered block."""
+        if not self.buffered:
+            return []
+        highest = max(self.buffered)
+        return [
+            index
+            for index in range(tip_index + 1, highest)
+            if index not in self.buffered
+        ]
+
+    def next_appendable(self, tip_index: int) -> Optional[Block]:
+        """The buffered block that directly extends the tip, if present."""
+        return self.buffered.get(tip_index + 1)
+
+    def pop(self, index: int) -> None:
+        self.buffered.pop(index, None)
+
+    def note_requested(self, indices: Tuple[int, ...]) -> List[int]:
+        """Mark indices as requested; returns only the newly requested ones."""
+        fresh = [i for i in indices if i not in self.outstanding]
+        self.outstanding.update(fresh)
+        return fresh
+
+    def finish(self, now: float) -> Optional[float]:
+        """Recovery complete: record and return its duration."""
+        if self.started_at is None:
+            return None
+        duration = now - self.started_at
+        self.completed_durations.append(duration)
+        self.started_at = None
+        self.outstanding.clear()
+        self.chain_requested = False
+        return duration
+
+    def reset(self) -> None:
+        """Abandon any in-flight recovery (e.g. chain replaced wholesale)."""
+        self.buffered.clear()
+        self.outstanding.clear()
+        self.started_at = None
+        self.chain_requested = False
+
+
+def plan_block_requests(
+    missing: List[int], neighbors: List[int], fan_out: int = 2
+) -> Dict[int, Tuple[int, ...]]:
+    """Split missing indices across up to ``fan_out`` neighbours.
+
+    Round-robins the gap over the nearest neighbours so no single peer
+    carries the whole recovery (Fig. 3 shows Node A asking B, C, D, E).
+    Returns ``{neighbor: indices}``; empty when there are no neighbours.
+    """
+    if not missing or not neighbors:
+        return {}
+    targets = neighbors[: max(1, fan_out)]
+    plan: Dict[int, List[int]] = {target: [] for target in targets}
+    for position, index in enumerate(sorted(missing)):
+        plan[targets[position % len(targets)]].append(index)
+    return {target: tuple(indices) for target, indices in plan.items() if indices}

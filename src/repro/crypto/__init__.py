@@ -1,0 +1,50 @@
+"""Cryptographic substrate: SHA-256 helpers, secp256k1 ECDSA, Merkle trees.
+
+Everything is implemented from scratch on top of :mod:`hashlib` so the
+blockchain core has a real signature scheme without external dependencies.
+"""
+
+from repro.crypto.hashing import (
+    DIGEST_BITS,
+    DIGEST_SIZE,
+    hash_items,
+    hash_items_hex,
+    hash_to_int,
+    sha256,
+    sha256_hex,
+)
+from repro.crypto.keys import (
+    GENERATOR,
+    INFINITY,
+    N as CURVE_ORDER,
+    CurvePoint,
+    PrivateKey,
+    PublicKey,
+    generate_keypair,
+)
+from repro.crypto.merkle import MerkleProof, MerkleTree, merkle_root, verify_proof
+from repro.crypto.signature import Signature, sign, verify
+
+__all__ = [
+    "DIGEST_BITS",
+    "DIGEST_SIZE",
+    "sha256",
+    "sha256_hex",
+    "hash_items",
+    "hash_items_hex",
+    "hash_to_int",
+    "CurvePoint",
+    "PrivateKey",
+    "PublicKey",
+    "generate_keypair",
+    "GENERATOR",
+    "INFINITY",
+    "CURVE_ORDER",
+    "Signature",
+    "sign",
+    "verify",
+    "MerkleTree",
+    "MerkleProof",
+    "merkle_root",
+    "verify_proof",
+]

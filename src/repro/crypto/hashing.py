@@ -1,0 +1,119 @@
+"""Hashing primitives used throughout the edge blockchain.
+
+All protocol-level hashing in the system is SHA-256, matching the paper's
+description ("hash function SHA-256 generates a 256-bit binary number",
+Section V-A).  The helpers here normalise the many "hash this thing" call
+sites into a small, well-tested surface:
+
+* :func:`sha256` / :func:`sha256_hex` — raw digest over bytes.
+* :func:`hash_items` — canonical digest over a sequence of heterogeneous
+  fields (ints, strings, bytes), with unambiguous framing so that
+  ``hash_items("ab", "c") != hash_items("a", "bc")``.
+* :func:`hash_to_int` — interpret a digest as a big-endian integer, the
+  operation behind the paper's ``POSHash mod M`` (Eq. 7).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Union
+
+HashableField = Union[bytes, str, int]
+
+#: Number of bits in a SHA-256 digest.
+DIGEST_BITS = 256
+
+#: Number of bytes in a SHA-256 digest.
+DIGEST_SIZE = 32
+
+
+def sha256(data: bytes) -> bytes:
+    """Return the SHA-256 digest of ``data`` as 32 raw bytes."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Return the SHA-256 digest of ``data`` as a 64-char lowercase hex string."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def _encode_field(field: HashableField) -> bytes:
+    """Encode one field with a type tag so distinct types never collide."""
+    if isinstance(field, bytes):
+        return b"B" + field
+    if isinstance(field, str):
+        return b"S" + field.encode("utf-8")
+    if isinstance(field, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("bool fields are ambiguous; pass an int or str")
+    if isinstance(field, int):
+        # Sign-and-magnitude so negative values are representable.
+        sign = b"-" if field < 0 else b"+"
+        magnitude = abs(field)
+        length = max(1, (magnitude.bit_length() + 7) // 8)
+        return b"I" + sign + magnitude.to_bytes(length, "big")
+    raise TypeError(f"unhashable field type: {type(field).__name__}")
+
+
+def hash_items(*fields: HashableField) -> bytes:
+    """Hash a sequence of fields with unambiguous length framing.
+
+    Each field is encoded with a one-byte type tag and prefixed with its
+    4-byte big-endian length, so no concatenation of distinct field
+    sequences can produce the same byte stream.
+    """
+    hasher = hashlib.sha256()
+    for field in fields:
+        encoded = _encode_field(field)
+        hasher.update(len(encoded).to_bytes(4, "big"))
+        hasher.update(encoded)
+    return hasher.digest()
+
+
+def hash_items_hex(*fields: HashableField) -> str:
+    """Like :func:`hash_items` but returning lowercase hex."""
+    return hash_items(*fields).hex()
+
+
+def hash_to_int(digest: bytes) -> int:
+    """Interpret a digest as a big-endian unsigned integer.
+
+    This is the reduction used by the PoS hit computation (Eq. 7): the
+    256-bit ``POSHash`` becomes an integer which is then taken ``mod M``.
+    """
+    if not digest:
+        raise ValueError("empty digest")
+    return int.from_bytes(digest, "big")
+
+
+def hash_concat(left: bytes, right: bytes) -> bytes:
+    """Hash the concatenation of two digests (Merkle interior nodes)."""
+    return sha256(left + right)
+
+
+def checksum8(data: bytes) -> str:
+    """Short 8-hex-char checksum for human-readable identifiers and logs."""
+    return sha256_hex(data)[:8]
+
+
+def iter_hash(seed: bytes, rounds: int) -> bytes:
+    """Apply SHA-256 ``rounds`` times starting from ``seed``.
+
+    Used by the energy benchmarks to model a PoW miner's brute-force loop
+    deterministically (a PoW attempt is one such round).
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    digest = seed
+    for _ in range(rounds):
+        digest = sha256(digest)
+    return digest
+
+
+def combine_hex(parts: Iterable[str]) -> str:
+    """Hash an iterable of hex digests into one hex digest (order-sensitive)."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        raw = bytes.fromhex(part)
+        hasher.update(len(raw).to_bytes(4, "big"))
+        hasher.update(raw)
+    return hasher.hexdigest()

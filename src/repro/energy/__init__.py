@@ -1,0 +1,25 @@
+"""Energy substrate: battery model and per-operation energy accounting.
+
+Substitutes the paper's Samsung Galaxy S8 battery experiment (Fig. 6) with
+an explicit, calibrated model — see EXPERIMENTS.md for the calibration.
+"""
+
+from repro.energy.battery import Battery
+from repro.energy.meter import EnergyMeter
+from repro.energy.profile import (
+    DEFAULT_POS_TICK_ENERGY,
+    DEFAULT_POW_HASH_ENERGY,
+    GALAXY_S8_BATTERY_JOULES,
+    GALAXY_S8_PROFILE,
+    EnergyProfile,
+)
+
+__all__ = [
+    "Battery",
+    "EnergyMeter",
+    "EnergyProfile",
+    "GALAXY_S8_PROFILE",
+    "GALAXY_S8_BATTERY_JOULES",
+    "DEFAULT_POW_HASH_ENERGY",
+    "DEFAULT_POS_TICK_ENERGY",
+]

@@ -1,0 +1,80 @@
+"""Energy metering: bills protocol operations to a device battery.
+
+:class:`EnergyMeter` is the bridge between the protocol layer and the
+energy model.  Nodes call the ``charge_*`` methods as they hash, sign, and
+transmit; the meter keeps a per-category ledger (mirroring the paper's
+breakdown of where PoW's energy goes) and drains the battery.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional
+
+from repro.energy.battery import Battery
+from repro.energy.profile import EnergyProfile, GALAXY_S8_PROFILE
+
+
+class EnergyMeter:
+    """Per-device energy ledger backed by a battery."""
+
+    def __init__(
+        self,
+        profile: Optional[EnergyProfile] = None,
+        battery: Optional[Battery] = None,
+    ):
+        self.profile = profile if profile is not None else GALAXY_S8_PROFILE
+        self.battery = battery if battery is not None else Battery(
+            capacity_joules=self.profile.battery_capacity_joules
+        )
+        self._ledger: Dict[str, float] = defaultdict(float)
+
+    # -- charging operations -----------------------------------------------------
+
+    def charge_pow_hashes(self, attempts: int) -> float:
+        """Bill a PoW brute-force run of ``attempts`` hash attempts."""
+        return self._charge("pow_mining", self.profile.pow_mining_energy(attempts))
+
+    def charge_pos_ticks(self, seconds: float) -> float:
+        """Bill ``seconds`` of PoS per-second target polling."""
+        return self._charge("pos_mining", self.profile.pos_mining_energy(seconds))
+
+    def charge_signature(self, count: int = 1) -> float:
+        """Bill ``count`` ECDSA sign/verify operations."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self._charge("crypto", count * self.profile.signature_energy)
+
+    def charge_radio(self, tx_bytes: int = 0, rx_bytes: int = 0) -> float:
+        """Bill radio transmit/receive traffic."""
+        return self._charge("radio", self.profile.radio_energy(tx_bytes, rx_bytes))
+
+    def charge_idle(self, seconds: float) -> float:
+        """Bill baseline idle draw for ``seconds``."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        return self._charge("idle", seconds * self.profile.idle_power)
+
+    def _charge(self, category: str, joules: float) -> float:
+        drained = self.battery.drain(joules)
+        self._ledger[category] += drained
+        return drained
+
+    # -- reporting -----------------------------------------------------------------
+
+    @property
+    def remaining_percent(self) -> float:
+        return self.battery.remaining_percent
+
+    @property
+    def depleted(self) -> bool:
+        return self.battery.depleted
+
+    def consumed_by(self, category: str) -> float:
+        return self._ledger[category]
+
+    def ledger(self) -> Dict[str, float]:
+        return dict(self._ledger)
+
+    def total_consumed(self) -> float:
+        return sum(self._ledger.values())

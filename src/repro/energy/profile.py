@@ -1,0 +1,91 @@
+"""Per-operation energy costs for edge devices.
+
+Fig. 6 of the paper measures battery drain of PoW vs PoS mining on a
+Samsung Galaxy S8.  We replace the handset with an explicit energy model:
+every operation a miner performs (hash attempts, signatures, radio traffic,
+idle bookkeeping) is billed to a battery.
+
+Calibration (documented in EXPERIMENTS.md): the paper reports that at a
+25-second average block time, PoW mines ≈4 blocks per 1 % of battery while
+PoS mines ≈11 blocks per 1 %.  A Galaxy S8 battery holds 3000 mAh at a
+nominal 3.85 V ≈ 41.6 kJ.  PoW at difficulty 4 (hex zeros) needs 16⁴ = 65536
+expected hashes per block; to burn 1 % ≈ 416 J over 4 blocks the device must
+spend ≈104 J per block → ≈1.6 mJ per hash attempt, which matches a phone
+CPU running flat-out (~5 W) hashing ~3 kH/s in a JS runtime (the paper's
+react-native implementation).  PoS performs one hash plus bookkeeping per
+second; burning 1 % over 11 blocks × 25 s = 275 s → ≈1.5 J/s ≈ the ~1.4 W
+draw of an active-screen idle phone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Galaxy S8 battery: 3000 mAh × 3.85 V × 3.6 = 41 580 J.
+GALAXY_S8_BATTERY_JOULES = 41_580.0
+
+#: Energy per PoW hash attempt in joules (react-native JS hashing; see above).
+DEFAULT_POW_HASH_ENERGY = 1.6e-3
+
+#: PoS per-second bookkeeping power in watts (hash + compare + timers on an
+#: otherwise-idle device).
+DEFAULT_POS_TICK_ENERGY = 1.5
+
+#: Energy per ECDSA sign/verify (negligible next to mining, but non-zero).
+DEFAULT_SIGNATURE_ENERGY = 5e-3
+
+#: Radio energy per byte, transmit and receive (802.11n, ~0.1 µJ/byte order).
+DEFAULT_TX_ENERGY_PER_BYTE = 1.2e-7
+DEFAULT_RX_ENERGY_PER_BYTE = 1.0e-7
+
+#: Baseline idle power in watts when the device does nothing at all.
+DEFAULT_IDLE_POWER = 0.0
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """Immutable per-operation energy costs (joules unless noted)."""
+
+    battery_capacity_joules: float = GALAXY_S8_BATTERY_JOULES
+    pow_hash_energy: float = DEFAULT_POW_HASH_ENERGY
+    pos_tick_energy: float = DEFAULT_POS_TICK_ENERGY
+    signature_energy: float = DEFAULT_SIGNATURE_ENERGY
+    tx_energy_per_byte: float = DEFAULT_TX_ENERGY_PER_BYTE
+    rx_energy_per_byte: float = DEFAULT_RX_ENERGY_PER_BYTE
+    idle_power: float = DEFAULT_IDLE_POWER
+
+    def __post_init__(self) -> None:
+        for name in (
+            "battery_capacity_joules",
+            "pow_hash_energy",
+            "pos_tick_energy",
+            "signature_energy",
+            "tx_energy_per_byte",
+            "rx_energy_per_byte",
+            "idle_power",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.battery_capacity_joules <= 0:
+            raise ValueError("battery capacity must be positive")
+
+    def pow_mining_energy(self, hash_attempts: int) -> float:
+        """Energy for a PoW mining run of ``hash_attempts`` attempts."""
+        if hash_attempts < 0:
+            raise ValueError("hash attempts must be non-negative")
+        return hash_attempts * self.pow_hash_energy
+
+    def pos_mining_energy(self, seconds: float) -> float:
+        """Energy for ``seconds`` of PoS target polling (one tick/second)."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        return seconds * self.pos_tick_energy
+
+    def radio_energy(self, tx_bytes: int, rx_bytes: int) -> float:
+        if tx_bytes < 0 or rx_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        return tx_bytes * self.tx_energy_per_byte + rx_bytes * self.rx_energy_per_byte
+
+
+#: The profile calibrated against the paper's Fig. 6 slopes.
+GALAXY_S8_PROFILE = EnergyProfile()

@@ -1,0 +1,82 @@
+"""Greedy (dual-fitting) UFL solver.
+
+The classic Jain–Mahdian–Saberi style greedy: repeatedly open the
+facility/client-star with the lowest average cost until every client is
+served, then reassign clients to their cheapest open facility.  This is the
+production solver for the per-item placement problem — near-optimal in
+practice (the paper cites Li's 1.488-approximation as state of the art; the
+greedy achieves ≤1.861 in theory and is typically within a few percent of
+the MILP optimum on these geometric instances, which the test-suite checks).
+
+Complexity is O(rounds · F · C log C) — instantaneous at edge-network sizes
+(≤ tens of nodes per the paper's evaluation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.facility.problem import UFLProblem, UFLSolution, assign_to_open
+
+
+def solve_greedy(problem: UFLProblem) -> UFLSolution:
+    """Solve a UFL instance greedily.
+
+    Raises
+    ------
+    ValueError
+        If the instance is infeasible (some client cannot reach any
+        openable facility with finite cost).
+    """
+    if not problem.is_feasible():
+        raise ValueError("infeasible UFL instance: a client has no reachable facility")
+
+    num_facilities = problem.num_facilities
+    num_clients = problem.num_clients
+    facility_costs = problem.facility_costs.copy()
+    connection = problem.connection_costs
+
+    unassigned: Set[int] = set(range(num_clients))
+    open_set: List[int] = []
+    opened = np.zeros(num_facilities, dtype=bool)
+
+    while unassigned:
+        best_ratio = math.inf
+        best_choice: Optional[Tuple[int, List[int]]] = None
+        unassigned_list = sorted(unassigned)
+        for facility in range(num_facilities):
+            opening_cost = 0.0 if opened[facility] else facility_costs[facility]
+            if not math.isfinite(opening_cost):
+                continue
+            costs = connection[facility, unassigned_list]
+            finite_mask = np.isfinite(costs)
+            if not finite_mask.any():
+                continue
+            finite_clients = [
+                unassigned_list[idx] for idx in np.flatnonzero(finite_mask)
+            ]
+            finite_costs = costs[finite_mask]
+            order = np.argsort(finite_costs, kind="stable")
+            sorted_costs = finite_costs[order]
+            prefix = np.cumsum(sorted_costs)
+            counts = np.arange(1, len(sorted_costs) + 1)
+            ratios = (opening_cost + prefix) / counts
+            k = int(np.argmin(ratios))
+            ratio = float(ratios[k])
+            if ratio < best_ratio - 1e-12:
+                star_clients = [finite_clients[idx] for idx in order[: k + 1]]
+                best_ratio = ratio
+                best_choice = (facility, star_clients)
+        if best_choice is None:
+            raise ValueError("greedy could not serve all clients (infeasible)")
+        facility, star_clients = best_choice
+        opened[facility] = True
+        if facility not in open_set:
+            open_set.append(facility)
+        unassigned.difference_update(star_clients)
+
+    # Final improvement: every client connects to its cheapest open facility.
+    return assign_to_open(problem, open_set)

@@ -1,0 +1,116 @@
+"""Local-search UFL solver (add / drop / swap moves).
+
+Starting from a feasible open set (the greedy solution by default), the
+search applies first-improvement moves until no move helps:
+
+* **add** — open one more facility,
+* **drop** — close an open facility (if clients can still be served),
+* **swap** — close one open facility and open a closed one.
+
+Add/drop/swap local search is a classical (3+ε)-approximation for metric
+UFL; combined with the greedy warm start it closes most of the remaining
+gap to optimal on the geometric instances this system produces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+from repro.facility.greedy import solve_greedy
+from repro.facility.problem import (
+    UFLProblem,
+    UFLSolution,
+    assign_to_open,
+    solution_cost_of_open_set,
+)
+
+#: Relative improvement below which a move is not worth taking (stops
+#: floating-point ping-pong).
+_MIN_IMPROVEMENT = 1e-9
+
+
+def _initial_open_set(problem: UFLProblem, initial: Optional[Iterable[int]]) -> Set[int]:
+    if initial is not None:
+        open_set = set(initial)
+        if math.isinf(solution_cost_of_open_set(problem, open_set)):
+            raise ValueError("initial open set is infeasible")
+        return open_set
+    return set(solve_greedy(problem).open_facilities)
+
+
+def solve_local_search(
+    problem: UFLProblem,
+    initial: Optional[Iterable[int]] = None,
+    max_rounds: int = 100,
+) -> UFLSolution:
+    """Improve an open set by add/drop/swap until a local optimum.
+
+    Parameters
+    ----------
+    initial:
+        Optional starting open set; defaults to the greedy solution.
+    max_rounds:
+        Safety cap on full passes over the move neighbourhood.
+    """
+    if not problem.is_feasible():
+        raise ValueError("infeasible UFL instance")
+    open_set = _initial_open_set(problem, initial)
+    current_cost = solution_cost_of_open_set(problem, open_set)
+    openable = [
+        int(i) for i in problem.openable_facilities()
+    ]
+
+    for _ in range(max_rounds):
+        improved = False
+
+        # Drop moves first: they reduce facility cost, the dominant term
+        # under the paper's A=1000 weighting.
+        for facility in sorted(open_set):
+            if len(open_set) == 1:
+                break
+            candidate = open_set - {facility}
+            cost = solution_cost_of_open_set(problem, candidate)
+            if cost < current_cost * (1 - _MIN_IMPROVEMENT):
+                open_set = candidate
+                current_cost = cost
+                improved = True
+                break
+        if improved:
+            continue
+
+        # Add moves.
+        for facility in openable:
+            if facility in open_set:
+                continue
+            candidate = open_set | {facility}
+            cost = solution_cost_of_open_set(problem, candidate)
+            if cost < current_cost * (1 - _MIN_IMPROVEMENT):
+                open_set = candidate
+                current_cost = cost
+                improved = True
+                break
+        if improved:
+            continue
+
+        # Swap moves.
+        for out_facility in sorted(open_set):
+            for in_facility in openable:
+                if in_facility in open_set:
+                    continue
+                candidate = (open_set - {out_facility}) | {in_facility}
+                cost = solution_cost_of_open_set(problem, candidate)
+                if cost < current_cost * (1 - _MIN_IMPROVEMENT):
+                    open_set = candidate
+                    current_cost = cost
+                    improved = True
+                    break
+            if improved:
+                break
+
+        if not improved:
+            break
+
+    return assign_to_open(problem, sorted(open_set))

@@ -1,0 +1,76 @@
+"""Random-placement baseline ("random store", Fig. 5).
+
+The paper compares its optimal placement against "a naive solution that
+data are randomly stored.  For a fair comparison, the total number of data
+and blocks stored is the same as the optimal placement" (Section VI-B).
+
+:func:`solve_random` therefore takes the replica count chosen by the optimal
+solver and opens that many facilities uniformly at random among nodes with
+remaining capacity, then assigns each client to its nearest open replica.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.facility.problem import (
+    UFLProblem,
+    UFLSolution,
+    assign_to_open,
+    solution_cost_of_open_set,
+)
+
+#: Attempts to find a random open set that leaves no client unreachable.
+_MAX_RETRIES = 100
+
+
+def solve_random(
+    problem: UFLProblem,
+    replica_count: int,
+    rng: np.random.Generator,
+) -> UFLSolution:
+    """Open ``replica_count`` random openable facilities.
+
+    Retries (bounded) until every client can reach the open set — mirrors a
+    random store that still has to be *functional*.  Raises ``ValueError``
+    when the instance cannot support the requested replica count.
+    """
+    if replica_count < 1:
+        raise ValueError("replica count must be at least 1")
+    openable = problem.openable_facilities()
+    if openable.size < replica_count:
+        raise ValueError(
+            f"only {openable.size} facilities can be opened, "
+            f"requested {replica_count}"
+        )
+    for _ in range(_MAX_RETRIES):
+        chosen = rng.choice(openable, size=replica_count, replace=False)
+        open_set = sorted(int(i) for i in chosen)
+        if np.isfinite(solution_cost_of_open_set(problem, open_set)):
+            return assign_to_open(problem, open_set)
+    # A partitioned topology can make pure sampling hopeless (every open set
+    # must span every network component).  Repair: sample once more, then add
+    # the minimum extra facilities needed so each uncovered client can reach
+    # one.  The replica count may exceed the request by the number of extra
+    # components — the closest feasible analogue of "random with the same
+    # replica count".
+    chosen_set = {int(i) for i in rng.choice(openable, size=replica_count, replace=False)}
+    while True:
+        open_list = sorted(chosen_set)
+        best = problem.connection_costs[open_list, :].min(axis=0)
+        uncovered = np.flatnonzero(~np.isfinite(best))
+        if uncovered.size == 0:
+            return assign_to_open(problem, open_list)
+        client = int(uncovered[0])
+        covering = [
+            int(i)
+            for i in openable
+            if np.isfinite(problem.connection_costs[i, client]) and int(i) not in chosen_set
+        ]
+        if not covering:
+            raise ValueError(
+                f"client {client} cannot reach any openable facility"
+            )
+        chosen_set.add(int(rng.choice(covering)))

@@ -1,0 +1,44 @@
+"""SWIM-style membership substrate (the paper's future-work direction).
+
+Section VII: Raft "transmits a large number of heartbeat messages"; the
+authors plan "a new consensus algorithm for edge environments with less
+message overhead".  This package implements SWIM (scalable weakly-
+consistent infection-style membership): O(1) per-node probe load with
+piggybacked dissemination, suspicion with refutation via incarnation
+numbers, and indirect probing through proxies.  The comparison benchmark
+(`bench_ablation_membership.py`) quantifies the overhead gap against Raft.
+"""
+
+from repro.membership.cluster import SwimCluster
+from repro.membership.messages import (
+    SWIM_CATEGORY,
+    Ack,
+    MembershipUpdate,
+    MemberStatus,
+    Ping,
+    PingReq,
+)
+from repro.membership.node import (
+    DEFAULT_PING_TIMEOUT,
+    DEFAULT_PROTOCOL_PERIOD,
+    DEFAULT_SUSPICION_TIMEOUT,
+    SwimNode,
+)
+from repro.membership.state import DisseminationBuffer, MembershipTable, MemberRecord
+
+__all__ = [
+    "SwimNode",
+    "SwimCluster",
+    "MembershipTable",
+    "MemberRecord",
+    "DisseminationBuffer",
+    "MembershipUpdate",
+    "MemberStatus",
+    "Ping",
+    "Ack",
+    "PingReq",
+    "SWIM_CATEGORY",
+    "DEFAULT_PROTOCOL_PERIOD",
+    "DEFAULT_PING_TIMEOUT",
+    "DEFAULT_SUSPICION_TIMEOUT",
+]

@@ -1,0 +1,186 @@
+"""SWIM membership state and update dissemination.
+
+:class:`MembershipTable` holds one node's view of the cluster and applies
+the SWIM override rules:
+
+* ALIVE(m, inc) overrides SUSPECT(m, i) for inc > i and ALIVE(m, i) for inc > i
+* SUSPECT(m, inc) overrides SUSPECT(m, i)/ALIVE(m, i) for inc ≥ i / inc ≥ i
+* DEAD(m, inc) overrides everything not already DEAD
+
+:class:`DisseminationBuffer` is the piggyback queue: each locally learned
+update rides along on the next λ·log(n) outgoing messages (we use a fixed
+retransmission budget), newest-first, bounded per message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.membership.messages import MembershipUpdate, MemberStatus
+
+
+@dataclass
+class MemberRecord:
+    """What this node believes about one member."""
+
+    status: MemberStatus
+    incarnation: int
+    #: Local simulation time of the last status change (suspicion timers).
+    changed_at: float
+
+
+def _overrides(new: MembershipUpdate, old: MemberRecord) -> bool:
+    """SWIM's update precedence rules."""
+    if old.status is MemberStatus.DEAD:
+        return False  # death is final (a dead id never rejoins as itself)
+    if new.status is MemberStatus.DEAD:
+        return True
+    if new.status is MemberStatus.ALIVE:
+        return new.incarnation > old.incarnation
+    # new.status is SUSPECT:
+    if old.status is MemberStatus.ALIVE:
+        return new.incarnation >= old.incarnation
+    return new.incarnation > old.incarnation  # suspect over suspect
+
+
+class MembershipTable:
+    """One node's membership view."""
+
+    def __init__(self, self_id: int, members: List[int], now: float = 0.0):
+        if self_id not in members:
+            raise ValueError("the node itself must be a member")
+        self.self_id = self_id
+        self._records: Dict[int, MemberRecord] = {
+            member: MemberRecord(
+                status=MemberStatus.ALIVE, incarnation=0, changed_at=now
+            )
+            for member in members
+        }
+        #: Our own incarnation number (bumped to refute suspicion).
+        self.incarnation = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def record(self, member: int) -> MemberRecord:
+        return self._records[member]
+
+    def status(self, member: int) -> MemberStatus:
+        return self._records[member].status
+
+    def members(self) -> List[int]:
+        return sorted(self._records)
+
+    def alive_members(self, exclude_self: bool = True) -> List[int]:
+        return [
+            member
+            for member, record in sorted(self._records.items())
+            if record.status is not MemberStatus.DEAD
+            and not (exclude_self and member == self.self_id)
+        ]
+
+    def suspects(self) -> List[int]:
+        return [
+            member
+            for member, record in sorted(self._records.items())
+            if record.status is MemberStatus.SUSPECT
+        ]
+
+    # -- mutation ---------------------------------------------------------------
+
+    def apply(self, update: MembershipUpdate, now: float) -> Optional[MembershipUpdate]:
+        """Apply a received or locally generated update.
+
+        Returns the update when it changed our view (and should therefore
+        be re-disseminated), or None when it was stale.  A suspicion about
+        *ourselves* triggers refutation instead: we bump our incarnation
+        and return the refuting ALIVE update.
+        """
+        if update.member == self.self_id and update.status in (
+            MemberStatus.SUSPECT,
+            MemberStatus.DEAD,
+        ):
+            # Refute: "I am alive, and newer than that rumour" (SWIM §4.2).
+            self.incarnation = max(self.incarnation, update.incarnation) + 1
+            record = self._records[self.self_id]
+            record.status = MemberStatus.ALIVE
+            record.incarnation = self.incarnation
+            record.changed_at = now
+            return MembershipUpdate(
+                member=self.self_id,
+                status=MemberStatus.ALIVE,
+                incarnation=self.incarnation,
+            )
+        record = self._records.get(update.member)
+        if record is None:
+            # First sighting of a member (dynamic join).
+            self._records[update.member] = MemberRecord(
+                status=update.status, incarnation=update.incarnation, changed_at=now
+            )
+            return update
+        if not _overrides(update, record):
+            return None
+        record.status = update.status
+        record.incarnation = update.incarnation
+        record.changed_at = now
+        return update
+
+    def expire_suspects(self, now: float, suspicion_timeout: float) -> List[MembershipUpdate]:
+        """Declare long-suspected members dead; returns the DEAD updates."""
+        declared = []
+        for member, record in self._records.items():
+            if (
+                record.status is MemberStatus.SUSPECT
+                and now - record.changed_at >= suspicion_timeout
+            ):
+                record.status = MemberStatus.DEAD
+                record.changed_at = now
+                declared.append(
+                    MembershipUpdate(
+                        member=member,
+                        status=MemberStatus.DEAD,
+                        incarnation=record.incarnation,
+                    )
+                )
+        return declared
+
+
+class DisseminationBuffer:
+    """Piggyback queue with a bounded retransmission budget per update."""
+
+    def __init__(self, retransmit_budget: int = 6, max_per_message: int = 6):
+        if retransmit_budget < 1 or max_per_message < 1:
+            raise ValueError("budgets must be positive")
+        self.retransmit_budget = retransmit_budget
+        self.max_per_message = max_per_message
+        self._queue: List[Tuple[MembershipUpdate, int]] = []
+
+    def push(self, update: MembershipUpdate) -> None:
+        """Queue an update; replaces any stale queued update for the member."""
+        self._queue = [
+            (queued, sent)
+            for queued, sent in self._queue
+            if queued.member != update.member
+        ]
+        self._queue.append((update, 0))
+
+    def take(self) -> Tuple[MembershipUpdate, ...]:
+        """Updates to piggyback on the next outgoing message.
+
+        Least-transmitted first (so fresh updates spread fastest); each
+        take increments the send counters and drops exhausted updates.
+        """
+        self._queue.sort(key=lambda pair: pair[1])
+        batch = self._queue[: self.max_per_message]
+        taken = tuple(update for update, _ in batch)
+        refreshed = []
+        for update, sent in self._queue:
+            if update in taken:
+                sent += 1
+            if sent < self.retransmit_budget:
+                refreshed.append((update, sent))
+        self._queue = refreshed
+        return taken
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,111 @@
+"""Run-level metric collection.
+
+:class:`RunMetrics` gathers, from a finished simulation, the quantities the
+paper's figures report: average per-node transmission (Fig. 4a), the storage
+Gini coefficient (Fig. 4b), average data-delivery time (Fig. 4c/5a),
+transmission overhead by category (Fig. 5b), mining statistics (block
+intervals, per-miner counts), and recovery latencies (the recent-block
+ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.metrics.gini import gini_coefficient
+from repro.metrics.stats import Summary, mean_or_nan
+from repro.simnet.trace import TransmissionTrace
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated outcomes of one simulation run."""
+
+    node_count: int
+    duration_seconds: float
+    #: Per-node total (tx+rx) bytes.
+    per_node_bytes: List[int]
+    #: Bytes by traffic category.
+    category_bytes: Dict[str, int]
+    #: Per-node used storage slots at the end of the run.
+    storage_used: List[int]
+    #: All successful data-delivery times, seconds.
+    delivery_times: List[float]
+    #: Count of failed data requests.
+    failed_requests: int
+    #: Inter-block times of the final chain, seconds.
+    block_intervals: List[float]
+    #: Blocks mined per node id.
+    blocks_mined: Dict[int, int]
+    #: Completed missing-block recovery durations, seconds.
+    recovery_durations: List[float] = field(default_factory=list)
+    #: Total data items produced.
+    data_items_produced: int = 0
+
+    # -- the paper's headline quantities ------------------------------------------
+
+    def average_node_megabytes(self) -> float:
+        """Fig. 4(a): average transmission per node, in MB."""
+        if not self.per_node_bytes:
+            return 0.0
+        return sum(self.per_node_bytes) / len(self.per_node_bytes) / 1e6
+
+    def total_megabytes(self) -> float:
+        return sum(self.category_bytes.values()) / 1e6
+
+    def storage_gini(self) -> float:
+        """Fig. 4(b): the Gini coefficient of per-node storage use."""
+        return gini_coefficient(self.storage_used)
+
+    def average_delivery_time(self) -> float:
+        """Fig. 4(c) / Fig. 5(a): mean data-delivery time, seconds."""
+        return mean_or_nan(self.delivery_times)
+
+    def delivery_summary(self) -> Summary:
+        return Summary.of(self.delivery_times)
+
+    def mean_block_interval(self) -> float:
+        return mean_or_nan(self.block_intervals)
+
+    def mean_recovery_duration(self) -> float:
+        return mean_or_nan(self.recovery_durations)
+
+    def chain_height(self) -> int:
+        return len(self.block_intervals)
+
+    def mining_distribution(self) -> List[int]:
+        """Blocks mined per node, ordered by node id."""
+        return [self.blocks_mined.get(node, 0) for node in range(self.node_count)]
+
+
+def collect_run_metrics(
+    node_count: int,
+    duration_seconds: float,
+    trace: TransmissionTrace,
+    storage_used: Sequence[int],
+    delivery_times: Sequence[float],
+    failed_requests: int,
+    block_timestamps: Sequence[float],
+    blocks_mined: Dict[int, int],
+    recovery_durations: Sequence[float] = (),
+    data_items_produced: int = 0,
+) -> RunMetrics:
+    """Assemble a :class:`RunMetrics` from raw run outputs."""
+    timestamps = list(block_timestamps)
+    intervals = [
+        later - earlier for earlier, later in zip(timestamps, timestamps[1:])
+    ]
+    return RunMetrics(
+        node_count=node_count,
+        duration_seconds=duration_seconds,
+        per_node_bytes=trace.per_node_bytes(range(node_count)),
+        category_bytes=trace.categories(),
+        storage_used=list(storage_used),
+        delivery_times=list(delivery_times),
+        failed_requests=failed_requests,
+        block_intervals=intervals,
+        blocks_mined=dict(blocks_mined),
+        recovery_durations=list(recovery_durations),
+        data_items_produced=data_items_produced,
+    )

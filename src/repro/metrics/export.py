@@ -1,0 +1,83 @@
+"""Result export: JSON and CSV writers for experiment outputs.
+
+Turns :class:`~repro.metrics.collector.RunMetrics` into plain
+serialisable records so sweeps can be archived, diffed across runs, and
+plotted by external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Union
+
+from repro.metrics.collector import RunMetrics
+
+PathLike = Union[str, Path]
+
+
+def metrics_to_record(metrics: RunMetrics, **labels) -> Dict[str, object]:
+    """Flatten one run's metrics into a serialisable record.
+
+    ``labels`` (e.g. ``node_count=30, rate=2.0, solver="greedy"``) are
+    prepended so sweep records are self-describing.
+    """
+    record: Dict[str, object] = dict(labels)
+    record.update(
+        {
+            "node_count": metrics.node_count,
+            "duration_seconds": metrics.duration_seconds,
+            "chain_height": metrics.chain_height(),
+            "mean_block_interval_s": metrics.mean_block_interval(),
+            "avg_node_megabytes": metrics.average_node_megabytes(),
+            "total_megabytes": metrics.total_megabytes(),
+            "storage_gini": metrics.storage_gini(),
+            "avg_delivery_s": metrics.average_delivery_time(),
+            "deliveries": len(metrics.delivery_times),
+            "failed_requests": metrics.failed_requests,
+            "data_items_produced": metrics.data_items_produced,
+            "recoveries": len(metrics.recovery_durations),
+            "mean_recovery_s": metrics.mean_recovery_duration(),
+            "category_bytes": dict(metrics.category_bytes),
+        }
+    )
+    return record
+
+
+def write_json(records: Sequence[Mapping[str, object]], path: PathLike) -> Path:
+    """Write records as a pretty-printed JSON array; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(list(records), handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return target
+
+
+def read_json(path: PathLike) -> List[Dict[str, object]]:
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_csv(records: Sequence[Mapping[str, object]], path: PathLike) -> Path:
+    """Write records as CSV (scalar fields only; dicts are JSON-encoded)."""
+    if not records:
+        raise ValueError("no records to write")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames: List[str] = []
+    for record in records:
+        for key in record:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with target.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in records:
+            row = {
+                key: json.dumps(value) if isinstance(value, (dict, list)) else value
+                for key, value in record.items()
+            }
+            writer.writerow(row)
+    return target

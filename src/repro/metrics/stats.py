@@ -1,0 +1,70 @@
+"""Summary statistics helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        data = np.asarray(list(values), dtype=float)
+        if data.size == 0:
+            nan = float("nan")
+            return cls(0, nan, nan, nan, nan, nan, nan)
+        return cls(
+            count=int(data.size),
+            mean=float(data.mean()),
+            std=float(data.std(ddof=0)),
+            minimum=float(data.min()),
+            median=float(np.median(data)),
+            p95=float(np.percentile(data, 95)),
+            maximum=float(data.max()),
+        )
+
+    def __str__(self) -> str:
+        if self.count == 0:
+            return "n=0"
+        return (
+            f"n={self.count} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} med={self.median:.4g} "
+            f"p95={self.p95:.4g} max={self.maximum:.4g}"
+        )
+
+
+def mean_or_nan(values: Sequence[float]) -> float:
+    """Mean of a possibly empty sequence (NaN when empty)."""
+    data = list(values)
+    if not data:
+        return float("nan")
+    return float(np.mean(data))
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """A guarded ratio (NaN when the denominator is 0 or non-finite)."""
+    if not math.isfinite(denominator) or denominator == 0:
+        return float("nan")
+    return numerator / denominator
+
+
+def percent_change(new: float, baseline: float) -> float:
+    """(new − baseline)/baseline in percent; the paper's 'X % less' numbers
+    are ``-percent_change``."""
+    if baseline == 0 or not math.isfinite(baseline):
+        return float("nan")
+    return 100.0 * (new - baseline) / baseline

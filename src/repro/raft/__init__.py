@@ -1,0 +1,43 @@
+"""Raft consensus substrate (general-information consensus layer).
+
+The paper's system "partly use[s] the raft algorithm" for consensus on
+general information (membership, mobility ranges) alongside the PoS chain.
+This is a complete Raft: randomised leader election, log replication with
+the consistency check, §5.4.2-safe commitment, and in-order application.
+"""
+
+from repro.raft.cluster import RaftCluster
+from repro.raft.log import RaftLog
+from repro.raft.messages import (
+    RAFT_CATEGORY,
+    AppendEntries,
+    AppendEntriesReply,
+    InstallSnapshot,
+    InstallSnapshotReply,
+    LogEntry,
+    RequestVote,
+    RequestVoteReply,
+)
+from repro.raft.node import (
+    DEFAULT_ELECTION_TIMEOUT,
+    DEFAULT_HEARTBEAT_INTERVAL,
+    RaftNode,
+    Role,
+)
+
+__all__ = [
+    "RaftNode",
+    "RaftCluster",
+    "RaftLog",
+    "Role",
+    "LogEntry",
+    "RequestVote",
+    "RequestVoteReply",
+    "AppendEntries",
+    "AppendEntriesReply",
+    "InstallSnapshot",
+    "InstallSnapshotReply",
+    "RAFT_CATEGORY",
+    "DEFAULT_ELECTION_TIMEOUT",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+]

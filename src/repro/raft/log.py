@@ -1,0 +1,159 @@
+"""The replicated log.
+
+1-based indexing as in the Raft paper; index 0 is the empty-log sentinel
+with term 0.  The log enforces the append-only discipline followers rely
+on: truncation only happens through :meth:`RaftLog.overwrite_from` when a
+conflicting leader entry arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.raft.messages import LogEntry
+
+
+class RaftLog:
+    """An in-memory Raft log with snapshot-based compaction.
+
+    After :meth:`compact_to`, entries up to ``snapshot_index`` are gone;
+    their cumulative effect lives in the state-machine snapshot the node
+    keeps alongside.  All public indices remain the original 1-based log
+    indices.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[LogEntry] = []
+        self.snapshot_index = 0
+        self.snapshot_term = 0
+
+    def __len__(self) -> int:
+        """Number of entries physically retained (post-compaction)."""
+        return len(self._entries)
+
+    @property
+    def last_index(self) -> int:
+        return self.snapshot_index + len(self._entries)
+
+    @property
+    def last_term(self) -> int:
+        return self._entries[-1].term if self._entries else self.snapshot_term
+
+    def _position(self, index: int) -> int:
+        """Physical list position of a 1-based log index."""
+        return index - self.snapshot_index - 1
+
+    def term_at(self, index: int) -> int:
+        """Term of the entry at 1-based ``index``.
+
+        Index 0 is the empty-log sentinel (term 0); the snapshot boundary
+        answers with the snapshot term; compacted indices raise.
+        """
+        if index == 0:
+            return 0
+        if index == self.snapshot_index:
+            return self.snapshot_term
+        if index < self.snapshot_index or index > self.last_index:
+            raise IndexError(
+                f"log index {index} unavailable "
+                f"(snapshot at {self.snapshot_index}, last {self.last_index})"
+            )
+        return self._entries[self._position(index)].term
+
+    def entry_at(self, index: int) -> LogEntry:
+        if not (self.snapshot_index < index <= self.last_index):
+            raise IndexError(f"log index {index} out of range or compacted")
+        return self._entries[self._position(index)]
+
+    def append(self, entry: LogEntry) -> int:
+        """Append one entry; returns its index."""
+        self._entries.append(entry)
+        return self.last_index
+
+    def entries_from(self, start_index: int) -> Tuple[LogEntry, ...]:
+        """Entries at indices ≥ ``start_index`` (may be empty).
+
+        Raises ``IndexError`` when the range starts inside the compacted
+        prefix — the caller must fall back to InstallSnapshot.
+        """
+        if start_index < 1:
+            raise IndexError("start index must be ≥ 1")
+        if start_index <= self.snapshot_index:
+            raise IndexError(
+                f"entries before {self.snapshot_index + 1} were compacted away"
+            )
+        return tuple(self._entries[self._position(start_index) :])
+
+    def matches(self, prev_index: int, prev_term: int) -> bool:
+        """AppendEntries consistency check: do we hold (prev_index, prev_term)?"""
+        if prev_index == 0:
+            return True
+        if prev_index < self.snapshot_index or prev_index > self.last_index:
+            return False
+        return self.term_at(prev_index) == prev_term
+
+    def overwrite_from(self, start_index: int, entries: Iterable[LogEntry]) -> None:
+        """Install leader entries starting at ``start_index``.
+
+        Entries that agree (same index, same term) are kept; at the first
+        conflict the suffix is truncated and replaced — the Raft paper's
+        step 3/4 of AppendEntries receiver behaviour.  Entries covered by
+        the snapshot are skipped (they are already committed state).
+        """
+        index = start_index
+        for entry in entries:
+            if index <= self.snapshot_index:
+                index += 1
+                continue
+            position = self._position(index)
+            if position < len(self._entries):
+                if self._entries[position].term != entry.term:
+                    del self._entries[position:]
+                    self._entries.append(entry)
+            else:
+                self._entries.append(entry)
+            index += 1
+
+    def compact_to(self, index: int) -> None:
+        """Drop entries up to and including ``index`` (must be ≤ last)."""
+        if index <= self.snapshot_index:
+            return
+        if index > self.last_index:
+            raise IndexError("cannot compact beyond the last entry")
+        term = self.term_at(index)
+        del self._entries[: self._position(index) + 1]
+        self.snapshot_index = index
+        self.snapshot_term = term
+
+    def install_snapshot(self, index: int, term: int) -> None:
+        """Reset the log to a received snapshot point (follower side)."""
+        if index <= self.snapshot_index:
+            return
+        if self.snapshot_index < index <= self.last_index and self.term_at(index) == term:
+            # We already hold the suffix; keep it (Raft §7 receiver rule 6).
+            self.compact_to(index)
+            return
+        self._entries = []
+        self.snapshot_index = index
+        self.snapshot_term = term
+
+    def commands(self, up_to_index: Optional[int] = None) -> List[Any]:
+        """Commands of retained entries up to ``up_to_index``.
+
+        Only post-snapshot entries are available; compacted commands live
+        in the state-machine snapshot.
+        """
+        end = self.last_index if up_to_index is None else up_to_index
+        count = max(0, end - self.snapshot_index)
+        return [entry.command for entry in self._entries[:count]]
+
+    def is_at_least_as_up_to_date(self, other_last_index: int, other_last_term: int) -> bool:
+        """Raft §5.4.1 election restriction, from the *candidate's* view.
+
+        Returns True when a log with (other_last_index, other_last_term) is
+        at least as up to date as this one — i.e. this node may grant its
+        vote.
+        """
+        if other_last_term != self.last_term:
+            return other_last_term > self.last_term
+        return other_last_index >= self.last_index

@@ -1,0 +1,435 @@
+"""The Raft replicated state machine node.
+
+A faithful single-process Raft (Ongaro & Ousterhout 2014, Figure 2) running
+on the simulated network: leader election with randomised timeouts, log
+replication with the consistency check, commitment under the current-term
+rule (§5.4.2), and state-machine application in log order.
+
+The paper's system uses Raft for "general information consensus" — spreading
+membership and mobility-range announcements — while the blockchain itself
+reaches consensus via PoS.  The node is protocol-complete regardless, and
+its heartbeat traffic is visible in the transmission trace, quantifying the
+overhead the paper's future-work section calls out.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.raft.log import RaftLog
+from repro.raft.messages import (
+    RAFT_CATEGORY,
+    AppendEntries,
+    AppendEntriesReply,
+    InstallSnapshot,
+    InstallSnapshotReply,
+    LogEntry,
+    RequestVote,
+    RequestVoteReply,
+)
+from repro.simnet.engine import EventEngine, EventHandle
+from repro.simnet.transport import Network
+
+#: Election timeout window in seconds (randomised per Raft §5.2).  Scaled up
+#: from the canonical 150–300 ms to clear multi-hop delivery latencies.
+DEFAULT_ELECTION_TIMEOUT = (0.30, 0.60)
+
+#: Leader heartbeat interval in seconds.
+DEFAULT_HEARTBEAT_INTERVAL = 0.10
+
+
+class Role(enum.Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+class RaftNode:
+    """One Raft participant.
+
+    Parameters
+    ----------
+    node_id, peers:
+        This node's network id and the ids of all *other* cluster members.
+    network, engine:
+        The shared transport and event loop.
+    apply_callback:
+        Called as ``apply_callback(node_id, index, command)`` for each
+        committed entry, in index order — the state machine.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        peers: List[int],
+        network: Network,
+        engine: EventEngine,
+        apply_callback: Optional[Callable[[int, int, Any], None]] = None,
+        election_timeout: tuple = DEFAULT_ELECTION_TIMEOUT,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        compaction_threshold: Optional[int] = None,
+    ):
+        if node_id in peers:
+            raise ValueError("peers must not include the node itself")
+        self.node_id = node_id
+        self.peers = list(peers)
+        self.network = network
+        self.engine = engine
+        self.apply_callback = apply_callback
+        self._election_timeout = election_timeout
+        self._heartbeat_interval = heartbeat_interval
+        #: Compact the log once it retains more than this many entries
+        #: (None disables automatic snapshotting).
+        self.compaction_threshold = compaction_threshold
+
+        # Persistent state (would be stable storage on a real device).
+        self.current_term = 0
+        self.voted_for: Optional[int] = None
+        self.log = RaftLog()
+
+        # Volatile state.
+        self.role = Role.FOLLOWER
+        self.commit_index = 0
+        self.last_applied = 0
+        self.leader_id: Optional[int] = None
+        #: Applied commands in order — the state machine.  Survives log
+        #: compaction (it *is* the snapshot content).
+        self._applied_commands: List[Any] = []
+
+        # Leader state.
+        self.next_index: Dict[int, int] = {}
+        self.match_index: Dict[int, int] = {}
+
+        self._votes_received: set = set()
+        self._election_timer: Optional[EventHandle] = None
+        self._heartbeat_timer: Optional[EventHandle] = None
+        self._stopped = False
+
+        network.register(node_id, self._on_message)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the first election timeout."""
+        self._reset_election_timer()
+
+    def stop(self) -> None:
+        """Halt all timers and demote (node crash / shutdown)."""
+        self._stopped = True
+        self.role = Role.FOLLOWER
+        if self._election_timer is not None:
+            self._election_timer.cancel()
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+
+    @property
+    def is_leader(self) -> bool:
+        return self.role is Role.LEADER
+
+    def committed_commands(self) -> List[Any]:
+        return list(self._applied_commands)
+
+    def take_snapshot(self) -> None:
+        """Compact the log up to the last applied entry (Raft §7)."""
+        if self.last_applied > self.log.snapshot_index:
+            self.log.compact_to(self.last_applied)
+
+    # -- timers ----------------------------------------------------------------------
+
+    def _random_election_timeout(self) -> float:
+        low, high = self._election_timeout
+        return self.engine.rng.uniform(low, high)
+
+    def _reset_election_timer(self) -> None:
+        if self._election_timer is not None:
+            self._election_timer.cancel()
+        if self._stopped:
+            return
+        self._election_timer = self.engine.schedule(
+            self._random_election_timeout(), self._on_election_timeout
+        )
+
+    def _schedule_heartbeat(self) -> None:
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+        if self._stopped:
+            return
+        self._heartbeat_timer = self.engine.schedule(
+            self._heartbeat_interval, self._on_heartbeat_due
+        )
+
+    # -- elections ---------------------------------------------------------------------
+
+    def _on_election_timeout(self) -> None:
+        if self._stopped or self.role is Role.LEADER:
+            return
+        self.role = Role.CANDIDATE
+        self.current_term += 1
+        self.voted_for = self.node_id
+        self.leader_id = None
+        self._votes_received = {self.node_id}
+        request = RequestVote(
+            term=self.current_term,
+            candidate_id=self.node_id,
+            last_log_index=self.log.last_index,
+            last_log_term=self.log.last_term,
+        )
+        for peer in self.peers:
+            self._send(peer, request)
+        self._reset_election_timer()
+        self._maybe_win_election()  # single-node cluster wins immediately
+
+    def _maybe_win_election(self) -> None:
+        majority = (len(self.peers) + 1) // 2 + 1
+        if self.role is Role.CANDIDATE and len(self._votes_received) >= majority:
+            self._become_leader()
+
+    def _become_leader(self) -> None:
+        self.role = Role.LEADER
+        self.leader_id = self.node_id
+        self.next_index = {peer: self.log.last_index + 1 for peer in self.peers}
+        self.match_index = {peer: 0 for peer in self.peers}
+        if self._election_timer is not None:
+            self._election_timer.cancel()
+        self._broadcast_append_entries()
+        self._schedule_heartbeat()
+
+    def _on_heartbeat_due(self) -> None:
+        if self._stopped or self.role is not Role.LEADER:
+            return
+        self._broadcast_append_entries()
+        self._schedule_heartbeat()
+
+    # -- replication ------------------------------------------------------------------
+
+    def submit(self, command: Any) -> Optional[int]:
+        """Append a client command (leader only).
+
+        Returns the entry's log index, or None if this node is not leader
+        (the caller should redirect to :attr:`leader_id`).
+        """
+        if self.role is not Role.LEADER:
+            return None
+        index = self.log.append(LogEntry(term=self.current_term, command=command))
+        self._advance_commit_index()  # single-node clusters commit at once
+        self._broadcast_append_entries()
+        return index
+
+    def _broadcast_append_entries(self) -> None:
+        for peer in self.peers:
+            self._send_append_entries(peer)
+
+    def _send_append_entries(self, peer: int) -> None:
+        next_idx = self.next_index.get(peer, self.log.last_index + 1)
+        if next_idx <= self.log.snapshot_index:
+            # The entries the peer needs were compacted: ship the snapshot.
+            self._send(
+                peer,
+                InstallSnapshot(
+                    term=self.current_term,
+                    leader_id=self.node_id,
+                    last_included_index=self.log.snapshot_index,
+                    last_included_term=self.log.snapshot_term,
+                    state=tuple(self._applied_commands[: self.log.snapshot_index]),
+                ),
+            )
+            return
+        prev_index = next_idx - 1
+        prev_term = self.log.term_at(prev_index) if prev_index <= self.log.last_index else 0
+        entries = self.log.entries_from(next_idx) if next_idx <= self.log.last_index else ()
+        message = AppendEntries(
+            term=self.current_term,
+            leader_id=self.node_id,
+            prev_log_index=prev_index,
+            prev_log_term=prev_term,
+            entries=entries,
+            leader_commit=self.commit_index,
+        )
+        self._send(peer, message)
+
+    # -- message handling ----------------------------------------------------------------
+
+    def _send(self, peer: int, message: Any) -> None:
+        self.network.send(
+            self.node_id, peer, message, message.wire_size(), RAFT_CATEGORY
+        )
+
+    def _observe_term(self, term: int) -> None:
+        """Any RPC with a newer term demotes us (Raft §5.1)."""
+        if term > self.current_term:
+            self.current_term = term
+            self.voted_for = None
+            if self.role is not Role.FOLLOWER:
+                self.role = Role.FOLLOWER
+                if self._heartbeat_timer is not None:
+                    self._heartbeat_timer.cancel()
+                self._reset_election_timer()
+
+    def _on_message(self, source: int, message: Any, category: str) -> None:
+        if self._stopped or category != RAFT_CATEGORY:
+            return
+        if isinstance(message, RequestVote):
+            self._handle_request_vote(message)
+        elif isinstance(message, RequestVoteReply):
+            self._handle_vote_reply(message)
+        elif isinstance(message, AppendEntries):
+            self._handle_append_entries(message)
+        elif isinstance(message, AppendEntriesReply):
+            self._handle_append_reply(message)
+        elif isinstance(message, InstallSnapshot):
+            self._handle_install_snapshot(message)
+        elif isinstance(message, InstallSnapshotReply):
+            self._handle_install_snapshot_reply(message)
+
+    def _handle_request_vote(self, request: RequestVote) -> None:
+        self._observe_term(request.term)
+        grant = False
+        if request.term == self.current_term:
+            not_voted = self.voted_for in (None, request.candidate_id)
+            up_to_date = self.log.is_at_least_as_up_to_date(
+                request.last_log_index, request.last_log_term
+            )
+            if not_voted and up_to_date:
+                grant = True
+                self.voted_for = request.candidate_id
+                self._reset_election_timer()
+        reply = RequestVoteReply(
+            term=self.current_term, vote_granted=grant, voter_id=self.node_id
+        )
+        self._send(request.candidate_id, reply)
+
+    def _handle_vote_reply(self, reply: RequestVoteReply) -> None:
+        self._observe_term(reply.term)
+        if (
+            self.role is Role.CANDIDATE
+            and reply.term == self.current_term
+            and reply.vote_granted
+        ):
+            self._votes_received.add(reply.voter_id)
+            self._maybe_win_election()
+
+    def _handle_append_entries(self, message: AppendEntries) -> None:
+        self._observe_term(message.term)
+        if message.term < self.current_term:
+            self._send(
+                message.leader_id,
+                AppendEntriesReply(
+                    term=self.current_term,
+                    success=False,
+                    follower_id=self.node_id,
+                    match_index=0,
+                ),
+            )
+            return
+        # Valid leader for this term.
+        self.leader_id = message.leader_id
+        if self.role is Role.CANDIDATE:
+            self.role = Role.FOLLOWER
+        self._reset_election_timer()
+
+        if not self.log.matches(message.prev_log_index, message.prev_log_term):
+            self._send(
+                message.leader_id,
+                AppendEntriesReply(
+                    term=self.current_term,
+                    success=False,
+                    follower_id=self.node_id,
+                    match_index=0,
+                ),
+            )
+            return
+        if message.entries:
+            self.log.overwrite_from(message.prev_log_index + 1, message.entries)
+        if message.leader_commit > self.commit_index:
+            self.commit_index = min(message.leader_commit, self.log.last_index)
+            self._apply_committed()
+        self._send(
+            message.leader_id,
+            AppendEntriesReply(
+                term=self.current_term,
+                success=True,
+                follower_id=self.node_id,
+                match_index=message.prev_log_index + len(message.entries),
+            ),
+        )
+
+    def _handle_append_reply(self, reply: AppendEntriesReply) -> None:
+        self._observe_term(reply.term)
+        if self.role is not Role.LEADER or reply.term != self.current_term:
+            return
+        peer = reply.follower_id
+        if reply.success:
+            self.match_index[peer] = max(self.match_index.get(peer, 0), reply.match_index)
+            self.next_index[peer] = self.match_index[peer] + 1
+            self._advance_commit_index()
+        else:
+            # Back off and retry with an earlier prefix.
+            self.next_index[peer] = max(1, self.next_index.get(peer, 1) - 1)
+            self._send_append_entries(peer)
+
+    def _handle_install_snapshot(self, message: InstallSnapshot) -> None:
+        self._observe_term(message.term)
+        if message.term < self.current_term:
+            return
+        self.leader_id = message.leader_id
+        if self.role is Role.CANDIDATE:
+            self.role = Role.FOLLOWER
+        self._reset_election_timer()
+        if message.last_included_index > self.log.snapshot_index:
+            self.log.install_snapshot(
+                message.last_included_index, message.last_included_term
+            )
+            # Fast-forward the state machine over the snapshot's commands.
+            if message.last_included_index > self.last_applied:
+                for index in range(self.last_applied + 1, message.last_included_index + 1):
+                    command = message.state[index - 1]
+                    self._applied_commands.append(command)
+                    if self.apply_callback is not None:
+                        self.apply_callback(self.node_id, index, command)
+                self.last_applied = message.last_included_index
+            self.commit_index = max(self.commit_index, message.last_included_index)
+        self._send(
+            message.leader_id,
+            InstallSnapshotReply(
+                term=self.current_term,
+                follower_id=self.node_id,
+                last_included_index=self.log.snapshot_index,
+            ),
+        )
+
+    def _handle_install_snapshot_reply(self, reply: InstallSnapshotReply) -> None:
+        self._observe_term(reply.term)
+        if self.role is not Role.LEADER or reply.term != self.current_term:
+            return
+        peer = reply.follower_id
+        self.match_index[peer] = max(
+            self.match_index.get(peer, 0), reply.last_included_index
+        )
+        self.next_index[peer] = self.match_index[peer] + 1
+
+    def _advance_commit_index(self) -> None:
+        """Commit the highest index replicated on a majority in our term."""
+        for index in range(self.log.last_index, self.commit_index, -1):
+            if self.log.term_at(index) != self.current_term:
+                break  # only current-term entries commit by counting (§5.4.2)
+            replicas = 1 + sum(
+                1 for peer in self.peers if self.match_index.get(peer, 0) >= index
+            )
+            if replicas >= (len(self.peers) + 1) // 2 + 1:
+                self.commit_index = index
+                self._apply_committed()
+                break
+
+    def _apply_committed(self) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            entry = self.log.entry_at(self.last_applied)
+            self._applied_commands.append(entry.command)
+            if self.apply_callback is not None:
+                self.apply_callback(self.node_id, self.last_applied, entry.command)
+        if (
+            self.compaction_threshold is not None
+            and len(self.log) > self.compaction_threshold
+        ):
+            self.take_snapshot()

@@ -1,0 +1,31 @@
+"""Experiment harness: cluster builder, runner, and per-figure scenarios."""
+
+from repro.sim.cluster import EdgeCluster, build_cluster
+from repro.sim.runner import ChurnSpec, ExperimentResult, ExperimentSpec, run_experiment
+from repro.sim.scenarios import (
+    BENCH_DURATION_MINUTES,
+    PAPER_DATA_RATES,
+    PAPER_NODE_COUNTS,
+    churn_scenario,
+    data_amount_scenario,
+    fdc_weight_scenario,
+    mining_only_scenario,
+    placement_scenario,
+)
+
+__all__ = [
+    "EdgeCluster",
+    "build_cluster",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "ChurnSpec",
+    "run_experiment",
+    "data_amount_scenario",
+    "placement_scenario",
+    "churn_scenario",
+    "mining_only_scenario",
+    "fdc_weight_scenario",
+    "PAPER_NODE_COUNTS",
+    "PAPER_DATA_RATES",
+    "BENCH_DURATION_MINUTES",
+]

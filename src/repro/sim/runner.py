@@ -1,0 +1,199 @@
+"""Experiment runner: drives a cluster through a full workload.
+
+Reproduces the paper's Section VI methodology end to end: Poisson data
+production, 10 %-of-nodes request patterns, periodic mobility epochs,
+optional churn windows, then collects the figure-level metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import SystemConfig
+from repro.metrics.collector import RunMetrics, collect_run_metrics
+from repro.sim.cluster import EdgeCluster, build_cluster
+from repro.simnet.faults import ChurnInjector
+from repro.workloads.generator import ProductionEvent, generate_production_schedule
+from repro.workloads.requests import plan_requests
+
+#: A request that beats its metadata onto the chain retries this often.
+_REQUEST_RETRY_SECONDS = 60.0
+
+#: ... at most this many times before counting as failed.
+_REQUEST_MAX_RETRIES = 5
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Random disconnection windows for a fraction of nodes."""
+
+    node_fraction: float = 0.2
+    events_per_node: float = 2.0
+    mean_downtime_seconds: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.node_fraction <= 1.0):
+            raise ValueError("node fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything that defines one run."""
+
+    node_count: int
+    config: SystemConfig
+    seed: int = 0
+    duration_minutes: Optional[float] = None  # default: config.simulation_minutes
+    mobility_epoch_minutes: float = 10.0  # 0 disables mobility resampling
+    churn: Optional[ChurnSpec] = None
+    #: node id → EdgeNode subclass, for planting adversaries
+    #: (e.g. repro.core.adversary.DenyingNode) among honest nodes.
+    node_classes: Optional[Dict[int, type]] = None
+
+    @property
+    def duration_seconds(self) -> float:
+        minutes = (
+            self.duration_minutes
+            if self.duration_minutes is not None
+            else self.config.simulation_minutes
+        )
+        return minutes * 60.0
+
+
+@dataclass
+class ExperimentResult:
+    """The run's metrics plus the cluster for deeper inspection."""
+
+    spec: ExperimentSpec
+    metrics: RunMetrics
+    cluster: EdgeCluster
+
+
+class _RequestDriver:
+    """Schedules a single data request, retrying until metadata lands on-chain."""
+
+    def __init__(self, cluster: EdgeCluster):
+        self.cluster = cluster
+
+    def schedule(self, requester: int, data_id: str, when: float) -> None:
+        self.cluster.engine.call_at(when, self._fire, requester, data_id, 0)
+
+    def _fire(self, requester: int, data_id: str, attempt: int) -> None:
+        node = self.cluster.nodes[requester]
+        if not node.online:
+            return  # disconnected requesters skip (they have no radio)
+        if node.chain.metadata_of(data_id) is None:
+            if attempt < _REQUEST_MAX_RETRIES:
+                self.cluster.engine.schedule(
+                    _REQUEST_RETRY_SECONDS, self._fire, requester, data_id, attempt + 1
+                )
+            else:
+                node.counters.data_requests_failed += 1
+            return
+        node.request_data(data_id)
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Build, load, run, and measure one experiment."""
+    cluster = build_cluster(
+        spec.node_count, spec.config, seed=spec.seed, node_classes=spec.node_classes
+    )
+    engine = cluster.engine
+    duration = spec.duration_seconds
+
+    # --- workload: production + requests -------------------------------------
+    schedule = generate_production_schedule(
+        node_count=spec.node_count,
+        items_per_minute=spec.config.data_items_per_minute,
+        duration_seconds=duration,
+        rng=engine.np_rng,
+    )
+    request_driver = _RequestDriver(cluster)
+
+    def produce(event: ProductionEvent) -> None:
+        node = cluster.nodes[event.producer]
+        if not node.online:
+            return
+        metadata = node.produce_data(
+            data_type=event.data_type,
+            location=event.location,
+            properties=event.properties,
+        )
+        plan = plan_requests(
+            node_count=spec.node_count,
+            producer=event.producer,
+            production_time=engine.now,
+            requester_fraction=spec.config.requester_fraction,
+            rng=engine.np_rng,
+        )
+        for requester, when in zip(plan.requesters, plan.times):
+            request_driver.schedule(requester, metadata.data_id, when)
+
+    for event in schedule:
+        engine.call_at(event.time, produce, event)
+
+    # --- mobility epochs -------------------------------------------------------
+    if spec.mobility_epoch_minutes > 0:
+        period = spec.mobility_epoch_minutes * 60.0
+
+        def mobility_tick() -> None:
+            cluster.advance_mobility_epoch()
+            if engine.now + period < duration:
+                engine.schedule(period, mobility_tick)
+
+        engine.schedule(period, mobility_tick)
+
+    # --- churn -------------------------------------------------------------------
+    if spec.churn is not None:
+        churned_count = int(round(spec.churn.node_fraction * spec.node_count))
+        churned_nodes = list(
+            engine.np_rng.choice(spec.node_count, size=churned_count, replace=False)
+        )
+        injector = ChurnInjector(
+            engine,
+            cluster.network,
+            on_up=lambda node: cluster.nodes[node].on_reconnect(),
+        )
+        injector.plan_random(
+            node_ids=[int(n) for n in churned_nodes],
+            horizon=duration * 0.9,
+            mean_downtime=spec.churn.mean_downtime_seconds,
+            events_per_node=spec.churn.events_per_node,
+        )
+
+    # --- run -------------------------------------------------------------------------
+    cluster.start()
+    engine.run_until(duration)
+
+    # --- measure ----------------------------------------------------------------------
+    reference = cluster.longest_chain_node()
+    block_timestamps = [block.timestamp for block in reference.chain.blocks]
+    delivery_times: List[float] = []
+    recovery_durations: List[float] = []
+    blocks_mined: Dict[int, int] = {}
+    failed = 0
+    produced = 0
+    storage_used = []
+    for node_id in cluster.node_ids:
+        node = cluster.nodes[node_id]
+        delivery_times.extend(node.delivery_times)
+        recovery_durations.extend(node.sync.completed_durations)
+        blocks_mined[node_id] = node.counters.blocks_mined
+        failed += node.counters.data_requests_failed
+        produced += node.counters.data_produced
+        storage_used.append(node.storage.used_slots())
+
+    metrics = collect_run_metrics(
+        node_count=spec.node_count,
+        duration_seconds=duration,
+        trace=cluster.network.trace,
+        storage_used=storage_used,
+        delivery_times=delivery_times,
+        failed_requests=failed,
+        block_timestamps=block_timestamps,
+        blocks_mined=blocks_mined,
+        recovery_durations=recovery_durations,
+        data_items_produced=produced,
+    )
+    return ExperimentResult(spec=spec, metrics=metrics, cluster=cluster)

@@ -1,0 +1,139 @@
+"""Named scenario builders for the paper's figures (see DESIGN.md §4).
+
+Each function returns the :class:`~repro.sim.runner.ExperimentSpec`(s) for
+one figure panel.  The benchmarks call these so the exact parameters of
+each reproduced experiment live in one place.
+
+The default sweep durations are shorter than the paper's 500 minutes so a
+full benchmark suite completes in CI time; pass ``full_scale=True`` to use
+the paper's durations.  Shape conclusions (who wins, by what factor) are
+duration-stable — the scale tests in ``tests/integration`` check that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Tuple
+
+from repro.core.config import PAPER_CONFIG, SystemConfig
+from repro.sim.runner import ChurnSpec, ExperimentSpec
+
+#: Node counts of the Fig. 4 / Fig. 5 sweeps.
+PAPER_NODE_COUNTS: Tuple[int, ...] = (10, 20, 30, 40, 50)
+
+#: Data generation rates (items/minute) of the Fig. 4 sweep.
+PAPER_DATA_RATES: Tuple[float, ...] = (1.0, 2.0, 3.0)
+
+#: Bench-scale run length in minutes (paper: 500).
+BENCH_DURATION_MINUTES = 60.0
+
+
+def data_amount_scenario(
+    node_count: int,
+    items_per_minute: float,
+    seed: int = 0,
+    full_scale: bool = False,
+    base_config: SystemConfig = PAPER_CONFIG,
+) -> ExperimentSpec:
+    """One cell of the Fig. 4 sweep (node count × data rate)."""
+    config = replace(base_config, data_items_per_minute=items_per_minute)
+    return ExperimentSpec(
+        node_count=node_count,
+        config=config,
+        seed=seed,
+        duration_minutes=None if full_scale else BENCH_DURATION_MINUTES,
+    )
+
+
+def placement_scenario(
+    node_count: int,
+    solver: str,
+    seed: int = 0,
+    full_scale: bool = False,
+    base_config: SystemConfig = PAPER_CONFIG,
+) -> ExperimentSpec:
+    """One arm of the Fig. 5 comparison (optimal vs random store).
+
+    Fig. 5 fixes the data rate at 1 item/minute and varies the node count;
+    ``solver`` is ``"greedy"`` for the paper's optimal placement and
+    ``"random"`` for the replica-matched naive baseline.
+    """
+    config = replace(
+        base_config, data_items_per_minute=1.0, placement_solver=solver
+    )
+    return ExperimentSpec(
+        node_count=node_count,
+        config=config,
+        seed=seed,
+        duration_minutes=None if full_scale else BENCH_DURATION_MINUTES,
+    )
+
+
+def churn_scenario(
+    node_count: int = 30,
+    seed: int = 0,
+    recent_cache_enabled: bool = True,
+    duration_minutes: float = BENCH_DURATION_MINUTES,
+    base_config: SystemConfig = PAPER_CONFIG,
+) -> ExperimentSpec:
+    """Churn-heavy scenario for the recent-block-allocation ablation.
+
+    With the cache disabled (capacity 0 and no extra assignments), missing
+    blocks are only recoverable from their permanent storing nodes, so
+    recovery takes more hops and more recovery traffic.
+    """
+    config = replace(
+        base_config,
+        data_items_per_minute=1.0,
+        recent_cache_capacity=base_config.recent_cache_capacity
+        if recent_cache_enabled
+        else 0,
+    )
+    return ExperimentSpec(
+        node_count=node_count,
+        config=config,
+        seed=seed,
+        duration_minutes=duration_minutes,
+        churn=ChurnSpec(node_fraction=0.3, events_per_node=2.0, mean_downtime_seconds=150.0),
+    )
+
+
+def mining_only_scenario(
+    node_count: int,
+    expected_interval: float = 60.0,
+    duration_minutes: float = BENCH_DURATION_MINUTES,
+    seed: int = 0,
+    base_config: SystemConfig = PAPER_CONFIG,
+) -> ExperimentSpec:
+    """No data workload: isolates the PoS block-interval behaviour."""
+    config = replace(
+        base_config,
+        data_items_per_minute=0.0,
+        expected_block_interval=expected_interval,
+    )
+    return ExperimentSpec(
+        node_count=node_count,
+        config=config,
+        seed=seed,
+        duration_minutes=duration_minutes,
+        mobility_epoch_minutes=0.0,
+    )
+
+
+def fdc_weight_scenario(
+    fdc_weight: float,
+    node_count: int = 30,
+    seed: int = 0,
+    duration_minutes: float = BENCH_DURATION_MINUTES,
+    base_config: SystemConfig = PAPER_CONFIG,
+) -> ExperimentSpec:
+    """Ablation over the FDC:RDC scaling factor A (paper fixes A = 1000)."""
+    config = replace(
+        base_config, fdc_weight=fdc_weight, data_items_per_minute=1.0
+    )
+    return ExperimentSpec(
+        node_count=node_count,
+        config=config,
+        seed=seed,
+        duration_minutes=duration_minutes,
+    )

@@ -1,0 +1,132 @@
+"""Range-bounded node mobility.
+
+The paper sets "the mobility of the nodes is within 30 meters ranges"
+(Section VI): each node has a home position and wanders within a disk of
+radius ``range(i)`` around it.  The RDC (Eq. 2) adds both endpoints' ranges
+to the hop distance precisely because a node may be anywhere in its disk.
+
+:class:`RangeBoundedMobility` implements that model as a random-waypoint
+process clipped to each node's disk (and to the field).  The simulation
+advances mobility in epochs; each epoch resamples positions and the topology
+is rebuilt.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.simnet.topology import DEFAULT_FIELD_SIZE, Position, Topology
+
+#: Paper's mobility range in metres (Section VI).
+DEFAULT_MOBILITY_RANGE = 30.0
+
+
+@dataclass(frozen=True)
+class MobilityProfile:
+    """Per-node mobility description: home position and wander radius."""
+
+    home: Position
+    wander_range: float
+
+    def __post_init__(self) -> None:
+        if self.wander_range < 0:
+            raise ValueError("wander range must be non-negative")
+
+
+def _clip(value: float, low: float, high: float) -> float:
+    return min(max(value, low), high)
+
+
+class RangeBoundedMobility:
+    """Random waypoints within each node's disk around its home position.
+
+    Parameters
+    ----------
+    profiles:
+        One :class:`MobilityProfile` per node (index = node id).
+    rng:
+        Numpy generator owned by the simulation engine.
+    field_size:
+        Positions are clipped to ``[0, field_size]²`` after sampling.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[MobilityProfile],
+        rng: np.random.Generator,
+        field_size: float = DEFAULT_FIELD_SIZE,
+    ):
+        self._profiles = list(profiles)
+        self._rng = rng
+        self._field_size = field_size
+        self._current: List[Position] = [p.home for p in self._profiles]
+
+    @classmethod
+    def uniform(
+        cls,
+        homes: Sequence[Position],
+        rng: np.random.Generator,
+        wander_range: float = DEFAULT_MOBILITY_RANGE,
+        field_size: float = DEFAULT_FIELD_SIZE,
+    ) -> "RangeBoundedMobility":
+        """All nodes share the same wander range (the paper's setting)."""
+        profiles = [MobilityProfile(home=h, wander_range=wander_range) for h in homes]
+        return cls(profiles, rng, field_size=field_size)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._profiles)
+
+    def profile(self, node: int) -> MobilityProfile:
+        return self._profiles[node]
+
+    def wander_range(self, node: int) -> float:
+        """The node's mobility range — the ``range(i)`` term of the RDC."""
+        return self._profiles[node].wander_range
+
+    def current_positions(self) -> List[Position]:
+        return list(self._current)
+
+    def _sample_in_disk(self, profile: MobilityProfile) -> Position:
+        """Uniform sample in the wander disk, clipped to the field."""
+        radius = profile.wander_range * math.sqrt(self._rng.uniform(0.0, 1.0))
+        angle = self._rng.uniform(0.0, 2.0 * math.pi)
+        x = _clip(profile.home.x + radius * math.cos(angle), 0.0, self._field_size)
+        y = _clip(profile.home.y + radius * math.sin(angle), 0.0, self._field_size)
+        return Position(x, y)
+
+    def advance_epoch(self, topology: Optional[Topology] = None) -> List[Position]:
+        """Resample every node's position; optionally refresh a topology.
+
+        Returns the new position list.  If ``topology`` is given, it is
+        updated in place (its hop-count caches are invalidated).
+        """
+        self._current = [self._sample_in_disk(p) for p in self._profiles]
+        if topology is not None:
+            topology.update_positions(self._current)
+        return list(self._current)
+
+    def reset_to_homes(self, topology: Optional[Topology] = None) -> List[Position]:
+        """Snap every node back to its home position (always connected when
+        homes were sampled connected)."""
+        self._current = [p.home for p in self._profiles]
+        if topology is not None:
+            topology.update_positions(self._current)
+        return list(self._current)
+
+    def relocate_home(self, node: int, new_home: Position, new_range: Optional[float] = None) -> None:
+        """Move a node's home (the paper: nodes broadcast new moving ranges).
+
+        The node's current position snaps to the new home; callers should
+        rebuild the topology and re-announce the range.
+        """
+        old = self._profiles[node]
+        self._profiles[node] = MobilityProfile(
+            home=new_home,
+            wander_range=old.wander_range if new_range is None else new_range,
+        )
+        self._current[node] = new_home

@@ -1,0 +1,267 @@
+"""Geometric network topology for pervasive edge environments.
+
+The paper's simulation places nodes uniformly in a 300 m × 300 m field with a
+70 m 802.11n communication range (Section VI).  Two nodes are neighbours when
+their Euclidean distance is within the radio range (a unit-disk graph), and
+multi-hop paths are shortest hop-count paths — the paper's chosen "distance"
+for the Range-Distance Cost (Eq. 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+#: Field side length in metres (paper Section VI).
+DEFAULT_FIELD_SIZE = 300.0
+
+#: Radio communication range in metres (typical 802.11n, paper Section VI).
+DEFAULT_COMM_RANGE = 70.0
+
+#: Hop count reported for unreachable pairs.
+UNREACHABLE = -1
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the 2-D field."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+def random_positions(
+    count: int,
+    rng: np.random.Generator,
+    field_size: float = DEFAULT_FIELD_SIZE,
+) -> List[Position]:
+    """Sample ``count`` uniform positions in a ``field_size`` square."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    coords = rng.uniform(0.0, field_size, size=(count, 2))
+    return [Position(float(x), float(y)) for x, y in coords]
+
+
+def connected_random_positions(
+    count: int,
+    rng: np.random.Generator,
+    field_size: float = DEFAULT_FIELD_SIZE,
+    comm_range: float = DEFAULT_COMM_RANGE,
+    max_attempts: int = 30,
+) -> List[Position]:
+    """Sample positions for a *connected* unit-disk graph.
+
+    The paper's scenarios implicitly assume a connected network (every node
+    eventually receives every block).  For dense settings a plain uniform
+    sample is usually connected, so we rejection-sample first; for sparse
+    settings (e.g. 10 nodes in 300×300 m with 70 m range the uniform graph
+    is almost never connected) we fall back to sequential attachment: each
+    node is sampled uniformly but resampled until it lands within radio
+    range of an already-placed node.  That guarantees connectivity while
+    keeping placements spread over the field.
+    """
+    for _ in range(max_attempts):
+        positions = random_positions(count, rng, field_size)
+        topology = Topology(positions, comm_range=comm_range)
+        if topology.is_connected():
+            return positions
+    return _sequential_connected_positions(count, rng, field_size, comm_range)
+
+
+def _sequential_connected_positions(
+    count: int,
+    rng: np.random.Generator,
+    field_size: float,
+    comm_range: float,
+    max_resamples: int = 10_000,
+) -> List[Position]:
+    """Attachment sampling: every new node lands in range of a placed one."""
+    if count == 0:
+        return []
+    positions = [Position(*map(float, rng.uniform(0.0, field_size, size=2)))]
+    while len(positions) < count:
+        for attempt in range(max_resamples):
+            candidate = Position(*map(float, rng.uniform(0.0, field_size, size=2)))
+            if any(candidate.distance_to(p) <= comm_range for p in positions):
+                positions.append(candidate)
+                break
+        else:
+            raise RuntimeError(
+                "sequential placement failed; field too large for the radio range"
+            )
+    return positions
+
+
+class Topology:
+    """Unit-disk connectivity graph with cached hop-count distances.
+
+    Node identifiers are the integer indices of the ``positions`` sequence.
+    Rebuild (or call :meth:`update_positions`) whenever mobility moves nodes;
+    hop-count tables are recomputed lazily.
+    """
+
+    def __init__(
+        self,
+        positions: Sequence[Position],
+        comm_range: float = DEFAULT_COMM_RANGE,
+    ):
+        if comm_range <= 0:
+            raise ValueError("communication range must be positive")
+        self.comm_range = comm_range
+        self._positions: List[Position] = list(positions)
+        self._graph = nx.Graph()
+        self._hops: Optional[Dict[int, Dict[int, int]]] = None
+        self._paths: Dict[Tuple[int, int], List[int]] = {}
+        self._rebuild_graph()
+
+    # -- construction --------------------------------------------------------
+
+    def _rebuild_graph(self) -> None:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(len(self._positions)))
+        for i in range(len(self._positions)):
+            for j in range(i + 1, len(self._positions)):
+                if self._positions[i].distance_to(self._positions[j]) <= self.comm_range:
+                    graph.add_edge(i, j)
+        self._graph = graph
+        self._hops = None
+        self._paths.clear()
+
+    def update_positions(self, positions: Sequence[Position]) -> None:
+        """Replace all node positions (mobility epoch) and invalidate caches."""
+        if len(positions) != len(self._positions):
+            raise ValueError("node count cannot change via update_positions")
+        self._positions = list(positions)
+        self._rebuild_graph()
+
+    def remove_node(self, node: int) -> None:
+        """Take a node offline (it keeps its index but loses all edges)."""
+        if node not in self._graph:
+            raise KeyError(f"unknown node {node}")
+        self._graph.remove_edges_from(list(self._graph.edges(node)))
+        self._hops = None
+        self._paths.clear()
+
+    def restore_node(self, node: int) -> None:
+        """Bring a node back online, reconnecting edges from its position."""
+        if not (0 <= node < len(self._positions)):
+            raise KeyError(f"unknown node {node}")
+        for other in range(len(self._positions)):
+            if other == node:
+                continue
+            if self._positions[node].distance_to(self._positions[other]) <= self.comm_range:
+                if self._graph.degree(other) is not None:
+                    self._graph.add_edge(node, other)
+        self._hops = None
+        self._paths.clear()
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._positions)
+
+    def position(self, node: int) -> Position:
+        return self._positions[node]
+
+    @property
+    def positions(self) -> List[Position]:
+        return list(self._positions)
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    def neighbors(self, node: int) -> List[int]:
+        """Direct radio neighbours of ``node``, sorted for determinism."""
+        return sorted(self._graph.neighbors(node))
+
+    def is_connected(self) -> bool:
+        if self.node_count == 0:
+            return True
+        return nx.is_connected(self._graph)
+
+    def is_connected_subset(self, nodes: Sequence[int]) -> bool:
+        """True when the induced subgraph over ``nodes`` is connected."""
+        node_list = list(nodes)
+        if len(node_list) <= 1:
+            return True
+        subgraph = self._graph.subgraph(node_list)
+        return nx.is_connected(subgraph)
+
+    def _hop_table(self) -> Dict[int, Dict[int, int]]:
+        if self._hops is None:
+            self._hops = {
+                source: dict(lengths)
+                for source, lengths in nx.all_pairs_shortest_path_length(self._graph)
+            }
+        return self._hops
+
+    def hop_count(self, source: int, target: int) -> int:
+        """Shortest hop-count between two nodes, or ``UNREACHABLE``."""
+        if source == target:
+            return 0
+        table = self._hop_table()
+        return table.get(source, {}).get(target, UNREACHABLE)
+
+    def hop_matrix(self) -> np.ndarray:
+        """Dense matrix of hop counts (``UNREACHABLE`` where disconnected)."""
+        n = self.node_count
+        matrix = np.full((n, n), UNREACHABLE, dtype=np.int64)
+        for source, lengths in self._hop_table().items():
+            for target, hops in lengths.items():
+                matrix[source, target] = hops
+        return matrix
+
+    def shortest_path(self, source: int, target: int) -> Optional[List[int]]:
+        """One shortest path (node list incl. endpoints), or None.
+
+        Paths are cached per topology epoch; ties are broken deterministically
+        by networkx's BFS order over sorted adjacency.
+        """
+        key = (source, target)
+        if key in self._paths:
+            return list(self._paths[key])
+        try:
+            path = nx.shortest_path(self._graph, source, target)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+        self._paths[key] = list(path)
+        return list(path)
+
+    def bfs_tree(self, source: int) -> Dict[int, int]:
+        """Parent map of a BFS spanning tree rooted at ``source``.
+
+        Used by the broadcast model: each reachable node receives a broadcast
+        once, over its tree edge.  The root maps to itself.
+        """
+        parents = {source: source}
+        frontier = [source]
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for neighbor in self.neighbors(node):
+                    if neighbor not in parents:
+                        parents[neighbor] = node
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return parents
+
+    def euclidean_distance(self, source: int, target: int) -> float:
+        return self._positions[source].distance_to(self._positions[target])
+
+    def reachable_from(self, source: int) -> List[int]:
+        """All nodes reachable from ``source`` (including itself), sorted."""
+        return sorted(nx.node_connected_component(self._graph, source))
+
+    def components(self) -> List[List[int]]:
+        """Connected components, each sorted, largest first."""
+        comps = [sorted(c) for c in nx.connected_components(self._graph)]
+        return sorted(comps, key=lambda c: (-len(c), c))

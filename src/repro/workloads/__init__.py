@@ -1,0 +1,16 @@
+"""Workload models: Poisson data production and 10 %-of-nodes requests."""
+
+from repro.workloads.generator import (
+    DATA_CATALOGUE,
+    ProductionEvent,
+    generate_production_schedule,
+)
+from repro.workloads.requests import RequestPlan, plan_requests
+
+__all__ = [
+    "ProductionEvent",
+    "generate_production_schedule",
+    "DATA_CATALOGUE",
+    "RequestPlan",
+    "plan_requests",
+]

@@ -1,0 +1,55 @@
+"""Data-request workloads.
+
+Section VI-A: "The data are requested randomly by 10 percent of nodes."
+For each produced item we sample ⌈10 % of nodes⌉ distinct requesters
+(excluding the producer) and schedule their requests a little after the
+item has had time to be packed into a block and disseminated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RequestPlan:
+    """The requesters and request times for one data item."""
+
+    requesters: Tuple[int, ...]
+    times: Tuple[float, ...]  # absolute seconds, aligned with requesters
+
+
+def plan_requests(
+    node_count: int,
+    producer: int,
+    production_time: float,
+    requester_fraction: float,
+    rng: np.random.Generator,
+    min_delay: float = 90.0,
+    max_delay: float = 300.0,
+) -> RequestPlan:
+    """Sample the requester set and times for one item.
+
+    ``min_delay`` defaults to 1.5 block intervals so the metadata is
+    normally on-chain and disseminated before the first request arrives
+    (requests that still race ahead are retried by the harness).
+    """
+    if not (0.0 <= requester_fraction <= 1.0):
+        raise ValueError("requester fraction must be in [0, 1]")
+    if max_delay < min_delay:
+        raise ValueError("max_delay must be ≥ min_delay")
+    candidates = [node for node in range(node_count) if node != producer]
+    count = min(len(candidates), max(1, math.ceil(requester_fraction * node_count)))
+    if count == 0 or not candidates:
+        return RequestPlan(requesters=(), times=())
+    chosen = rng.choice(len(candidates), size=count, replace=False)
+    requesters = tuple(candidates[int(i)] for i in chosen)
+    times = tuple(
+        production_time + float(rng.uniform(min_delay, max_delay))
+        for _ in requesters
+    )
+    return RequestPlan(requesters=requesters, times=times)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.account import Account
+from repro.core.config import SystemConfig
+from repro.simnet.engine import EventEngine
+from repro.simnet.topology import Position, Topology, connected_random_positions
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed numpy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def engine():
+    """A fresh deterministic event engine."""
+    return EventEngine(seed=42)
+
+
+@pytest.fixture
+def small_topology(engine):
+    """A connected 8-node topology in the paper's field geometry."""
+    positions = connected_random_positions(8, engine.np_rng)
+    return Topology(positions)
+
+
+@pytest.fixture
+def line_topology():
+    """Five nodes in a line, 50 m apart (range 70 m → chain graph)."""
+    positions = [Position(50.0 * i, 0.0) for i in range(5)]
+    return Topology(positions, comm_range=70.0)
+
+
+@pytest.fixture
+def account():
+    """A deterministic test account."""
+    return Account.for_node(simulation_seed=99, node_id=0)
+
+
+@pytest.fixture
+def fast_config():
+    """A small-scale config for quick protocol tests."""
+    return SystemConfig(
+        storage_capacity=40,
+        expected_block_interval=10.0,
+        data_items_per_minute=2.0,
+        simulation_minutes=5.0,
+        recent_cache_capacity=4,
+    )

@@ -1,0 +1,101 @@
+"""Cross-seed invariant sweep.
+
+Runs small full-system simulations across several seeds and checks the
+invariants that must hold on *every* execution, whatever the randomness:
+
+* all online nodes converge to one chain,
+* physical storage capacity is never breached,
+* the audit replay reproduces every token balance,
+* every chain revalidates from genesis on an independent replica,
+* traffic accounting is symmetric (every byte sent was received),
+* Q_i and S_i stay ≥ 1 (the Section V-A floors).
+"""
+
+import pytest
+
+from repro.core.audit import audit_chain
+from repro.core.blockchain import Blockchain
+from repro.core.config import SystemConfig
+from repro.sim.runner import ExperimentSpec, run_experiment
+
+SEEDS = [0, 1, 2, 3, 4]
+
+
+@pytest.fixture(scope="module")
+def runs():
+    config = SystemConfig(
+        storage_capacity=50,
+        expected_block_interval=20.0,
+        data_items_per_minute=1.5,
+        recent_cache_capacity=4,
+    )
+    results = {}
+    for seed in SEEDS:
+        spec = ExperimentSpec(
+            node_count=8, config=config, seed=seed, duration_minutes=15
+        )
+        results[seed] = run_experiment(spec)
+    return results
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestPerSeedInvariants:
+    def test_convergence(self, runs, seed):
+        cluster = runs[seed].cluster
+        cluster.engine.run_until(cluster.engine.now + 60.0)
+        tips = {
+            node.chain.tip.current_hash
+            for node in cluster.nodes.values()
+            if cluster.network.is_online(node.node_id)
+        }
+        assert len(tips) == 1
+
+    def test_capacity_never_breached(self, runs, seed):
+        for node in runs[seed].cluster.nodes.values():
+            assert 0 <= node.storage.used_slots() <= node.storage.capacity
+
+    def test_audit_matches_every_balance(self, runs, seed):
+        cluster = runs[seed].cluster
+        chain = cluster.longest_chain_node().chain
+        report = audit_chain(chain.blocks, cluster.node_ids, cluster.config)
+        for node_id in cluster.node_ids:
+            assert report.balance(node_id) == pytest.approx(
+                chain.state.tokens(node_id)
+            )
+
+    def test_chain_revalidates_independently(self, runs, seed):
+        cluster = runs[seed].cluster
+        chain = cluster.longest_chain_node().chain
+        replica = Blockchain(
+            cluster.node_ids,
+            cluster.config,
+            chain.address_of,
+            genesis=chain.blocks[0],
+        )
+        for block in chain.blocks[1:]:
+            replica.append_block(block)
+        assert replica.tip.current_hash == chain.tip.current_hash
+
+    def test_traffic_symmetry(self, runs, seed):
+        trace = runs[seed].cluster.network.trace
+        total_tx = sum(trace.node(n).tx_bytes for n in runs[seed].cluster.node_ids)
+        total_rx = sum(trace.node(n).rx_bytes for n in runs[seed].cluster.node_ids)
+        assert total_tx == total_rx
+
+    def test_stake_and_storage_floors(self, runs, seed):
+        cluster = runs[seed].cluster
+        chain = cluster.longest_chain_node().chain
+        now = cluster.engine.now
+        for node_id in cluster.node_ids:
+            assert chain.state.tokens(node_id) > 0
+            assert chain.state.stored_items(node_id, now) >= 1
+
+    def test_served_plus_failed_accounts_for_requests(self, runs, seed):
+        for node in runs[seed].cluster.nodes.values():
+            counters = node.counters
+            terminated = (
+                counters.data_requests_served + counters.data_requests_failed
+            )
+            # In-flight requests at cut-off are the only legitimate gap
+            # (pending entries plus retry-scheduled requests).
+            assert terminated <= counters.data_requests_sent

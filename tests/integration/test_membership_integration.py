@@ -1,0 +1,127 @@
+"""SWIM integration tests on the simulated network."""
+
+import pytest
+
+from repro.membership import MemberStatus, SwimCluster
+from repro.membership.messages import SWIM_CATEGORY
+from repro.raft import RAFT_CATEGORY, RaftCluster
+from repro.simnet.channel import ChannelModel
+from repro.simnet.engine import EventEngine
+from repro.simnet.topology import Position, Topology, connected_random_positions
+from repro.simnet.transport import Network
+
+
+def swim_world(size=8, seed=1, **kwargs):
+    engine = EventEngine(seed=seed)
+    positions = connected_random_positions(size, engine.np_rng)
+    topology = Topology(positions)
+    network = Network(engine, topology, ChannelModel(bandwidth=None))
+    cluster = SwimCluster(list(range(size)), network, engine, **kwargs)
+    return engine, network, cluster
+
+
+class TestStableCluster:
+    def test_no_false_positives(self):
+        engine, _, cluster = swim_world()
+        cluster.start()
+        engine.run_until(60.0)
+        for observer in cluster.nodes:
+            view = cluster.view_of(observer)
+            assert all(status is MemberStatus.ALIVE for status in view.values())
+
+    def test_bounded_per_node_traffic(self):
+        engine, network, cluster = swim_world()
+        cluster.start()
+        engine.run_until(30.0)
+        bytes_30s = network.trace.category_bytes(SWIM_CATEGORY)
+        engine.run_until(60.0)
+        bytes_60s = network.trace.category_bytes(SWIM_CATEGORY)
+        # Steady state: traffic grows linearly in time, not faster.
+        assert bytes_60s - bytes_30s == pytest.approx(bytes_30s, rel=0.5)
+
+
+class TestFailureDetection:
+    def test_crashed_member_detected_by_everyone(self):
+        engine, _, cluster = swim_world(seed=2)
+        cluster.start()
+        engine.run_until(5.0)
+        cluster.crash(3)
+        elapsed = cluster.wait_for_detection(3, timeout=60.0)
+        # Probe period 1 s + suspicion timeout 5 s → detection well under a
+        # minute even with dissemination latency.
+        assert elapsed < 40.0
+
+    def test_two_concurrent_failures(self):
+        engine, network, cluster = swim_world(size=10, seed=3)
+        cluster.start()
+        engine.run_until(5.0)
+        # Crash two nodes whose removal keeps the survivors connected —
+        # otherwise partitioned survivors correctly declare each other dead.
+        victims = []
+        for candidate in range(10):
+            rest = [n for n in range(10) if n != candidate and n not in victims]
+            if network.topology.is_connected_subset(rest):
+                victims.append(candidate)
+            if len(victims) == 2:
+                break
+        assert len(victims) == 2, "topology has no two safely removable nodes"
+        first, second = victims
+        cluster.crash(first)
+        cluster.crash(second)
+        cluster.wait_for_detection(first, timeout=90.0)
+        cluster.wait_for_detection(second, timeout=90.0)
+        observers = [n for n in cluster.nodes if n not in victims]
+        for observer in observers:
+            view = cluster.view_of(observer)
+            assert view[first] is MemberStatus.DEAD
+            assert view[second] is MemberStatus.DEAD
+            for other in observers:
+                assert view[other] is MemberStatus.ALIVE
+
+    def test_temporarily_slow_member_refutes_suspicion(self):
+        engine, network, cluster = swim_world(seed=4)
+        cluster.start()
+        engine.run_until(5.0)
+        # Take node 5 offline briefly — shorter than the suspicion timeout.
+        network.set_online(5, False)
+        engine.run_until(engine.now + 2.0)
+        network.set_online(5, True)
+        engine.run_until(engine.now + 30.0)
+        for observer in cluster.nodes:
+            assert cluster.view_of(observer)[5] is MemberStatus.ALIVE
+
+
+class TestOverheadVsRaft:
+    def test_swim_idle_overhead_below_raft(self):
+        """The paper's future-work claim, quantified end-to-end.
+
+        Same topology, same duration, both protocols idle (no writes):
+        SWIM's per-node probe traffic must undercut Raft's per-follower
+        heartbeat traffic.
+        """
+        size, seed, duration = 10, 5, 30.0
+
+        engine_r = EventEngine(seed=seed)
+        positions = connected_random_positions(size, engine_r.np_rng)
+        topo_r = Topology(positions)
+        net_r = Network(engine_r, topo_r, ChannelModel(bandwidth=None))
+        raft = RaftCluster(list(range(size)), net_r, engine_r)
+        raft.start()
+        raft.wait_for_leader(timeout=30.0)
+        start_bytes = net_r.trace.category_bytes(RAFT_CATEGORY)
+        start_time = engine_r.now
+        engine_r.run_until(start_time + duration)
+        raft_bytes = net_r.trace.category_bytes(RAFT_CATEGORY) - start_bytes
+
+        engine_s = EventEngine(seed=seed)
+        topo_s = Topology(positions)
+        net_s = Network(engine_s, topo_s, ChannelModel(bandwidth=None))
+        swim = SwimCluster(list(range(size)), net_s, engine_s)
+        swim.start()
+        engine_s.run_until(5.0)
+        start_bytes = net_s.trace.category_bytes(SWIM_CATEGORY)
+        start_time = engine_s.now
+        engine_s.run_until(start_time + duration)
+        swim_bytes = net_s.trace.category_bytes(SWIM_CATEGORY) - start_bytes
+
+        assert swim_bytes < raft_bytes

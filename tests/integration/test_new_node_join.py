@@ -1,0 +1,96 @@
+"""Fig. 3's Node K scenario: a node joins and fetches the whole chain.
+
+"For a node that needs the whole blockchain (e.g., new node coming into
+the network, as Node K in the example), it first requests for blocks and
+then organizes the received blocks and finds out the missing blocks ...
+Since a block stores the information about storing nodes for the previous
+block, a node can recursively request the missing blocks."
+
+In the simulation, "new" means the node was registered at genesis (the
+paper's membership set is fixed) but has been offline since t=0; on its
+first connection it holds nothing beyond genesis and must acquire the
+entire chain history before it can validate new blocks and mine.
+"""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.sim.cluster import build_cluster
+
+
+@pytest.fixture
+def world():
+    config = SystemConfig(
+        storage_capacity=80,
+        expected_block_interval=15.0,
+        data_items_per_minute=1.0,
+        recent_cache_capacity=5,
+    )
+    cluster = build_cluster(8, config, seed=41)
+    # Node 7 is "Node K": never seen the network.
+    cluster.network.set_online(7, False)
+    cluster.start()
+    # Drive a small publication workload from the online nodes.
+    for minute in range(1, 9):
+        producer = minute % 7
+        cluster.engine.call_at(
+            minute * 60.0,
+            lambda p=producer: cluster.nodes[p].produce_data(
+                data_type="AirQuality/PM2.5"
+            ),
+        )
+    return cluster
+
+
+class TestNodeKJoins:
+    def test_joins_and_acquires_full_chain(self, world):
+        # The network runs for a while without node 7.
+        world.engine.run_until(600.0)
+        established = world.longest_chain_node().chain.height
+        assert established >= 10
+        assert world.nodes[7].chain.height == 0
+
+        # Node K connects.
+        world.network.set_online(7, True)
+        world.nodes[7].on_reconnect()
+        world.engine.run_until(world.engine.now + 300.0)
+
+        node_k = world.nodes[7]
+        target = world.longest_chain_node().chain.height
+        assert node_k.chain.height >= established
+        assert node_k.chain.height >= target - 1
+
+    def test_acquired_chain_carries_usable_metadata(self, world):
+        world.engine.run_until(600.0)
+        world.network.set_online(7, True)
+        world.nodes[7].on_reconnect()
+        world.engine.run_until(world.engine.now + 300.0)
+        node_k = world.nodes[7]
+        catalogue = node_k.chain.search_metadata()
+        assert catalogue  # the workload produced items node K can now see
+        # And node K can actually fetch one.
+        item = catalogue[0]
+        node_k.request_data(item.data_id)
+        world.engine.run_until(world.engine.now + 60.0)
+        assert node_k.counters.data_requests_served >= 1
+
+    def test_node_k_becomes_a_miner(self, world):
+        world.engine.run_until(600.0)
+        world.network.set_online(7, True)
+        world.nodes[7].on_reconnect()
+        # Give it time to sync and win a few lotteries.
+        world.engine.run_until(world.engine.now + 1500.0)
+        assert world.nodes[7].counters.blocks_mined >= 1
+
+    def test_join_traffic_is_bounded(self, world):
+        world.engine.run_until(600.0)
+        sync_before = world.network.trace.category_bytes("chain_sync")
+        world.network.set_online(7, True)
+        world.nodes[7].on_reconnect()
+        world.engine.run_until(world.engine.now + 300.0)
+        sync_after = world.network.trace.category_bytes("chain_sync")
+        # A whole-chain transfer happened, but not dozens of them.
+        chain_bytes = sum(
+            b.wire_size() for b in world.longest_chain_node().chain.blocks
+        )
+        assert sync_after - sync_before <= 20 * chain_bytes

@@ -1,0 +1,97 @@
+"""Integration tests for the network-level PoW consensus baseline."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import PAPER_CONFIG, SystemConfig
+from repro.core.pow import pow_difficulty_for
+from repro.sim.cluster import build_cluster
+
+
+def pow_config(node_count, t0=20.0):
+    hash_rate = 16**4 / 25.0
+    return replace(
+        PAPER_CONFIG,
+        consensus="pow",
+        data_items_per_minute=0.0,
+        expected_block_interval=t0,
+        pow_hash_rate=hash_rate,
+        pow_difficulty=pow_difficulty_for(t0, node_count, hash_rate),
+    )
+
+
+class TestPowNetwork:
+    def test_chain_grows_at_tuned_rate(self):
+        config = pow_config(6, t0=20.0)
+        cluster = build_cluster(6, config, seed=9)
+        cluster.start()
+        cluster.engine.run_until(600.0)  # 10 minutes → ~30 blocks expected
+        height = cluster.longest_chain_node().chain.height
+        assert 10 <= height <= 70
+
+    def test_all_nodes_converge(self):
+        config = pow_config(6)
+        cluster = build_cluster(6, config, seed=9)
+        cluster.start()
+        cluster.engine.run_until(400.0)
+        cluster.engine.run_until(cluster.engine.now + 30.0)
+        tips = {node.chain.tip.current_hash for node in cluster.nodes.values()}
+        assert len(tips) == 1
+
+    def test_multiple_winners(self):
+        config = pow_config(6)
+        cluster = build_cluster(6, config, seed=9)
+        cluster.start()
+        cluster.engine.run_until(600.0)
+        winners = {
+            block.miner
+            for block in cluster.longest_chain_node().chain.blocks[1:]
+        }
+        assert len(winners) >= 3
+
+    def test_pow_burns_more_energy_than_pos(self):
+        results = {}
+        for consensus in ("pos", "pow"):
+            config = replace(pow_config(6), consensus=consensus)
+            cluster = build_cluster(6, config, seed=9, with_energy_meters=True)
+            cluster.start()
+            cluster.engine.run_until(600.0)
+            results[consensus] = sum(
+                node.meter.total_consumed() for node in cluster.nodes.values()
+            )
+        assert results["pos"] < 0.5 * results["pow"]
+
+    def test_data_workload_runs_under_pow(self):
+        config = replace(pow_config(8), data_items_per_minute=1.0)
+        cluster = build_cluster(8, config, seed=10)
+        cluster.start()
+        item = cluster.nodes[0].produce_data()
+        cluster.engine.run_until(300.0)
+        chain = cluster.longest_chain_node().chain
+        assert chain.metadata_of(item.data_id) is not None
+
+    def test_invalid_consensus_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(consensus="proof-of-vibes")
+        with pytest.raises(ValueError):
+            SystemConfig(pow_hash_rate=0.0)
+        with pytest.raises(ValueError):
+            SystemConfig(pow_difficulty=-1.0)
+
+
+class TestDifficultyTuning:
+    def test_difficulty_for_matches_interval(self):
+        rate = 1000.0
+        difficulty = pow_difficulty_for(30.0, 10, rate)
+        assert 16.0**difficulty / (10 * rate) == pytest.approx(30.0)
+
+    def test_more_miners_need_more_difficulty(self):
+        rate = 1000.0
+        assert pow_difficulty_for(30.0, 20, rate) > pow_difficulty_for(30.0, 5, rate)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pow_difficulty_for(0.0, 10, 100.0)
+        with pytest.raises(ValueError):
+            pow_difficulty_for(10.0, 0, 100.0)

@@ -1,0 +1,258 @@
+"""Property-based tests for the extension modules (serialization,
+migration, membership state, audit)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.account import Account
+from repro.core.audit import audit_chain
+from repro.core.block import make_genesis
+from repro.core.blockchain import Blockchain
+from repro.core.config import SystemConfig
+from repro.core.metadata import create_metadata
+from repro.core.migration import plan_migration
+from repro.core.serialization import (
+    block_from_dict,
+    block_to_dict,
+    chain_from_json,
+    chain_to_json,
+    metadata_from_dict,
+    metadata_to_dict,
+)
+from repro.facility.problem import UFLProblem, solution_cost_of_open_set
+from repro.membership.messages import MembershipUpdate, MemberStatus
+from repro.membership.state import MembershipTable
+
+_ACCOUNT = Account.for_node(4242, 0)
+
+
+class TestSerializationProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=1000),
+            min_size=0,
+            max_size=40,
+        ),
+        st.floats(min_value=0.1, max_value=1e5, allow_nan=False),
+        st.lists(st.integers(min_value=0, max_value=200), max_size=8),
+    )
+    def test_metadata_round_trip(self, seq, created, properties, valid, storers):
+        item = create_metadata(
+            _ACCOUNT,
+            producer=0,
+            sequence=seq,
+            created_at=created,
+            properties=properties,
+            valid_time_minutes=valid,
+        ).with_storing_nodes(tuple(storers))
+        decoded = metadata_from_dict(metadata_to_dict(item))
+        assert decoded == item
+        assert decoded.signing_payload() == item.signing_payload()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=8),
+        st.floats(min_value=0.1, max_value=1e9, allow_nan=False),
+    )
+    def test_genesis_round_trip(self, node_ids, initial_b):
+        genesis = make_genesis(tuple(sorted(set(node_ids))), initial_b)
+        decoded = block_from_dict(block_to_dict(genesis))
+        assert decoded.current_hash == genesis.current_hash
+        assert decoded.hash_is_valid()
+
+
+class TestMigrationProperties:
+    @st.composite
+    @staticmethod
+    def instances_with_start(draw):
+        num_f = draw(st.integers(min_value=2, max_value=8))
+        num_c = draw(st.integers(min_value=1, max_value=8))
+        seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+        rng = np.random.default_rng(seed)
+        problem = UFLProblem(
+            facility_costs=rng.uniform(1, 15, size=num_f),
+            connection_costs=rng.uniform(0, 10, size=(num_f, num_c)),
+        )
+        start_size = draw(st.integers(min_value=1, max_value=num_f))
+        start = sorted(
+            int(i) for i in rng.choice(num_f, size=start_size, replace=False)
+        )
+        budget = draw(st.integers(min_value=0, max_value=5))
+        return problem, start, budget
+
+    @settings(max_examples=30, deadline=None)
+    @given(instances_with_start())
+    def test_migration_never_increases_cost(self, case):
+        problem, start, budget = case
+        plan = plan_migration(problem, start, max_operations=budget)
+        assert plan.final_cost <= plan.initial_cost
+        assert plan.operations <= budget
+
+    @settings(max_examples=30, deadline=None)
+    @given(instances_with_start())
+    def test_final_set_cost_consistent(self, case):
+        problem, start, budget = case
+        plan = plan_migration(problem, start, max_operations=budget)
+        final_set = plan.final_open_set(start)
+        assert solution_cost_of_open_set(problem, final_set) == pytest.approx(
+            plan.final_cost
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(instances_with_start())
+    def test_drift_never_worsens(self, case):
+        # "Drift" is measured against the greedy reference, which a lucky
+        # start can beat (greedy is 1.861-approximate) — so the invariant
+        # is monotone improvement, not drift ≥ 1.
+        problem, start, budget = case
+        plan = plan_migration(problem, start, max_operations=budget)
+        assert plan.final_drift <= plan.initial_drift + 1e-9
+
+
+status_strategy = st.sampled_from(list(MemberStatus))
+update_strategy = st.builds(
+    MembershipUpdate,
+    member=st.integers(min_value=0, max_value=5),
+    status=status_strategy,
+    incarnation=st.integers(min_value=0, max_value=10),
+)
+
+
+class TestMembershipTableProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(update_strategy, max_size=25))
+    def test_incarnation_never_decreases_while_alive(self, updates):
+        # DEAD overrides regardless of incarnation (SWIM's rules), so the
+        # monotonicity invariant applies to live records only.
+        table = MembershipTable(0, [0, 1, 2, 3, 4, 5])
+        seen = {m: 0 for m in table.members()}
+        for step, update in enumerate(updates):
+            table.apply(update, now=float(step))
+            record = table.record(update.member)
+            if record.status is not MemberStatus.DEAD:
+                assert record.incarnation >= seen[update.member] or update.member == 0
+                seen[update.member] = record.incarnation
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(update_strategy, max_size=25))
+    def test_dead_stays_dead(self, updates):
+        table = MembershipTable(0, [0, 1, 2, 3, 4, 5])
+        died_at = {}
+        for step, update in enumerate(updates):
+            table.apply(update, now=float(step))
+            for member in table.members():
+                if member == 0:
+                    continue  # the node always refutes its own death
+                status = table.status(member)
+                if member in died_at:
+                    assert status is MemberStatus.DEAD
+                elif status is MemberStatus.DEAD:
+                    died_at[member] = step
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(update_strategy, max_size=25))
+    def test_self_never_dead(self, updates):
+        table = MembershipTable(0, [0, 1, 2, 3, 4, 5])
+        for step, update in enumerate(updates):
+            table.apply(update, now=float(step))
+            assert table.status(0) is MemberStatus.ALIVE
+
+
+class TestAuditProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=8),
+        st.integers(min_value=2, max_value=50),
+    )
+    def test_audit_always_matches_chain_state(self, miners, rescale_interval):
+        from repro.core.pos import compute_hit, compute_pos_hash, mining_delay
+        from repro.core.block import Block
+
+        config = SystemConfig(
+            expected_block_interval=10.0, token_rescale_interval=rescale_interval
+        )
+        accounts = {i: Account.for_node(88, i) for i in range(3)}
+        address_of = {i: a.address for i, a in accounts.items()}
+        chain = Blockchain(list(range(3)), config, address_of)
+        for miner in miners:
+            parent = chain.tip
+            address = accounts[miner].address
+            hit = compute_hit(parent.pos_hash, address, config.hit_modulus)
+            amendment = chain.state.amendment(parent.timestamp)
+            delay = mining_delay(
+                hit,
+                chain.state.tokens(miner),
+                chain.state.stored_items(miner, parent.timestamp),
+                amendment,
+            )
+            chain.append_block(
+                Block(
+                    index=parent.index + 1,
+                    timestamp=parent.timestamp + delay,
+                    previous_hash=parent.current_hash,
+                    pos_hash=compute_pos_hash(parent.pos_hash, address),
+                    miner=miner,
+                    miner_address=address,
+                    hit=hit,
+                    target_b=amendment,
+                    storing_nodes=(miner,),
+                    previous_storing_nodes=tuple(
+                        chain.state.block_storing.get(parent.index, ())
+                    ),
+                )
+            )
+        report = audit_chain(chain.blocks, range(3), config)
+        for node in range(3):
+            assert report.balance(node) == pytest.approx(chain.state.tokens(node))
+
+
+class TestChainSerializationProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=5))
+    def test_serialised_chain_revalidates(self, miners):
+        from repro.core.pos import compute_hit, compute_pos_hash, mining_delay
+        from repro.core.block import Block
+
+        config = SystemConfig(expected_block_interval=10.0)
+        accounts = {i: Account.for_node(99, i) for i in range(3)}
+        address_of = {i: a.address for i, a in accounts.items()}
+        chain = Blockchain(list(range(3)), config, address_of)
+        for miner in miners:
+            parent = chain.tip
+            address = accounts[miner].address
+            hit = compute_hit(parent.pos_hash, address, config.hit_modulus)
+            amendment = chain.state.amendment(parent.timestamp)
+            delay = mining_delay(
+                hit,
+                chain.state.tokens(miner),
+                chain.state.stored_items(miner, parent.timestamp),
+                amendment,
+            )
+            chain.append_block(
+                Block(
+                    index=parent.index + 1,
+                    timestamp=parent.timestamp + delay,
+                    previous_hash=parent.current_hash,
+                    pos_hash=compute_pos_hash(parent.pos_hash, address),
+                    miner=miner,
+                    miner_address=address,
+                    hit=hit,
+                    target_b=amendment,
+                    storing_nodes=(miner,),
+                    previous_storing_nodes=tuple(
+                        chain.state.block_storing.get(parent.index, ())
+                    ),
+                )
+            )
+        decoded = chain_from_json(chain_to_json(chain.blocks))
+        replica = Blockchain(
+            list(range(3)), config, address_of, genesis=decoded[0]
+        )
+        for block in decoded[1:]:
+            replica.append_block(block)
+        assert replica.tip.current_hash == chain.tip.current_hash

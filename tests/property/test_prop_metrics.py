@@ -1,0 +1,68 @@
+"""Property-based tests for metrics (Gini and summaries)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.gini import gini_coefficient, gini_pairwise
+from repro.metrics.stats import Summary
+
+storage_vectors = st.lists(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestGiniProperties:
+    @given(storage_vectors)
+    def test_matches_paper_footnote_formula(self, values):
+        assert gini_coefficient(values) == pytest.approx(
+            gini_pairwise(values), abs=1e-9
+        )
+
+    @given(storage_vectors)
+    def test_bounded(self, values):
+        gini = gini_coefficient(values)
+        assert 0.0 <= gini < 1.0
+
+    @given(storage_vectors, st.floats(min_value=0.01, max_value=100))
+    def test_scale_invariant(self, values, scale):
+        if sum(values) == 0:
+            return
+        scaled = [v * scale for v in values]
+        assert gini_coefficient(scaled) == pytest.approx(
+            gini_coefficient(values), abs=1e-9
+        )
+
+    @given(st.floats(min_value=0.1, max_value=1e6), st.integers(min_value=1, max_value=50))
+    def test_equal_values_give_zero(self, value, count):
+        assert gini_coefficient([value] * count) == pytest.approx(0.0, abs=1e-12)
+
+    @given(storage_vectors)
+    def test_permutation_invariant(self, values):
+        rng = np.random.default_rng(0)
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        assert gini_coefficient(shuffled) == pytest.approx(
+            gini_coefficient(values), abs=1e-9
+        )
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=30))
+    def test_adding_equal_share_decreases_or_keeps(self, values):
+        """Adding the same constant to everyone never increases inequality."""
+        base = gini_coefficient(values)
+        flattened = gini_coefficient([v + 100.0 for v in values])
+        assert flattened <= base + 1e-9
+
+
+class TestSummaryProperties:
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9, allow_nan=False), min_size=1, max_size=50))
+    def test_summary_ordering(self, values):
+        summary = Summary.of(values)
+        slack = 1e-6 * (1.0 + abs(summary.maximum) + abs(summary.minimum))
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.minimum - slack <= summary.mean <= summary.maximum + slack
+        assert summary.minimum <= summary.p95 <= summary.maximum + slack
+        assert summary.count == len(values)

@@ -1,0 +1,106 @@
+"""Property-based tests for the PoS mechanism."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pos import (
+    compute_amendment,
+    compute_hit,
+    mining_delay,
+    per_second_mining_loop,
+    satisfies_target,
+)
+
+M = 2**64
+
+stakes = st.floats(min_value=0.01, max_value=1e6, allow_nan=False)
+counts = st.floats(min_value=1.0, max_value=1e4, allow_nan=False)
+amendments = st.floats(min_value=1e-6, max_value=1e12, allow_nan=False)
+hits = st.integers(min_value=0, max_value=M - 1)
+
+
+class TestMiningDelayProperties:
+    @given(hits, stakes, counts, amendments)
+    def test_delay_satisfies_target_at_fire_time(self, hit, stake, stored, b):
+        delay = mining_delay(hit, stake, stored, b)
+        assert delay is not None and delay >= 1
+        # float(delay) is only exact below 2^53; real protocol delays are
+        # bounded by t0·(n+1) ≪ 2^53 seconds.
+        if delay < 2**53:
+            assert satisfies_target(hit, stake, stored, float(delay), b)
+
+    @given(hits, stakes, counts, amendments)
+    def test_delay_is_earliest_second(self, hit, stake, stored, b):
+        delay = mining_delay(hit, stake, stored, b)
+        # Beyond 2^40 seconds, float(delay-1) == float(delay); the earliest-
+        # second claim is only meaningful within float resolution.
+        if 1 < delay < 2**40:
+            assert not satisfies_target(hit, stake, stored, float(delay - 1), b)
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=0.5, max_value=10.0),
+        st.floats(min_value=1.0, max_value=10.0),
+        st.floats(min_value=100.0, max_value=10000.0),
+    )
+    def test_closed_form_equals_per_second_loop(self, hit, stake, stored, b):
+        delay = mining_delay(hit, stake, stored, b)
+        ticks = list(per_second_mining_loop(hit, stake, stored, b, max_seconds=delay + 2))
+        fired = [t for t, _, satisfied in ticks if satisfied]
+        assert fired and fired[0] == delay
+
+    @given(hits, stakes, counts, amendments, st.floats(min_value=1.01, max_value=100.0))
+    def test_more_stake_never_slower(self, hit, stake, stored, b, factor):
+        base = mining_delay(hit, stake, stored, b)
+        richer = mining_delay(hit, stake * factor, stored, b)
+        assert richer <= base
+
+    @given(hits, stakes, counts, amendments, st.floats(min_value=1.01, max_value=100.0))
+    def test_more_storage_never_slower(self, hit, stake, stored, b, factor):
+        base = mining_delay(hit, stake, stored, b)
+        more = mining_delay(hit, stake, stored * factor, b)
+        assert more <= base
+
+    @given(stakes, counts, amendments)
+    def test_zero_hit_mines_at_one_second(self, stake, stored, b):
+        assert mining_delay(0, stake, stored, b) == 1
+
+
+class TestHitProperties:
+    @given(st.text(min_size=1, max_size=40), st.text(min_size=1, max_size=40))
+    def test_hit_in_range(self, prev, account):
+        assert 0 <= compute_hit(prev, account, M) < M
+
+    @given(st.text(min_size=1, max_size=40))
+    def test_hit_deterministic(self, account):
+        assert compute_hit("prev", account, M) == compute_hit("prev", account, M)
+
+
+class TestAmendmentProperties:
+    @given(
+        st.integers(min_value=1, max_value=1000),
+        st.floats(min_value=1.0, max_value=3600.0),
+        st.floats(min_value=0.01, max_value=1e9),
+    )
+    def test_amendment_positive_finite(self, n, t0, mean_u):
+        b = compute_amendment(M, n, t0, mean_u)
+        assert b > 0 and math.isfinite(b)
+
+    @given(
+        st.integers(min_value=1, max_value=1000),
+        st.floats(min_value=1.0, max_value=3600.0),
+        st.floats(min_value=0.01, max_value=1e6),
+        st.floats(min_value=1.01, max_value=100.0),
+    )
+    def test_rescaling_invariance(self, n, t0, mean_u, ratio):
+        """Scaling all stakes by r scales B by 1/r — relative advantages and
+        mining delays are unchanged (Section V-B's rescaling argument)."""
+        b_before = compute_amendment(M, n, t0, mean_u)
+        b_after = compute_amendment(M, n, t0, mean_u * ratio)
+        # A node with stake s·r under b_after has the same rate s·b_before:
+        assert b_after * ratio == pytest.approx(b_before, rel=1e-9)
+

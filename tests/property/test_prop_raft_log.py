@@ -1,0 +1,87 @@
+"""Property-based tests for the Raft log with compaction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.raft.log import RaftLog
+from repro.raft.messages import LogEntry
+
+
+@st.composite
+def logs_with_compaction(draw):
+    """A log built from nondecreasing terms, compacted at a random point."""
+    terms = draw(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=20)
+    )
+    terms = sorted(terms)  # raft terms never decrease along the log
+    log = RaftLog()
+    for i, term in enumerate(terms):
+        log.append(LogEntry(term, f"cmd-{i + 1}"))
+    compact_at = draw(st.integers(min_value=0, max_value=len(terms)))
+    if compact_at > 0:
+        log.compact_to(compact_at)
+    return log, terms, compact_at
+
+
+class TestRaftLogProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(logs_with_compaction())
+    def test_last_index_is_total_length(self, case):
+        log, terms, _ = case
+        assert log.last_index == len(terms)
+
+    @settings(max_examples=60, deadline=None)
+    @given(logs_with_compaction())
+    def test_retained_entries_unchanged(self, case):
+        log, terms, compact_at = case
+        for index in range(compact_at + 1, len(terms) + 1):
+            entry = log.entry_at(index)
+            assert entry.term == terms[index - 1]
+            assert entry.command == f"cmd-{index}"
+
+    @settings(max_examples=60, deadline=None)
+    @given(logs_with_compaction())
+    def test_terms_at_boundary_consistent(self, case):
+        log, terms, compact_at = case
+        if compact_at > 0:
+            assert log.snapshot_term == terms[compact_at - 1]
+            assert log.term_at(compact_at) == terms[compact_at - 1]
+
+    @settings(max_examples=60, deadline=None)
+    @given(logs_with_compaction())
+    def test_matches_holds_for_retained_prefix_points(self, case):
+        log, terms, compact_at = case
+        for index in range(compact_at, len(terms) + 1):
+            if index == 0:
+                assert log.matches(0, 0)
+            else:
+                assert log.matches(index, terms[index - 1])
+
+    @settings(max_examples=60, deadline=None)
+    @given(logs_with_compaction(), st.integers(min_value=1, max_value=5))
+    def test_append_after_compaction_extends(self, case, term):
+        log, terms, _ = case
+        new_index = log.append(LogEntry(max(terms[-1], term), "tail"))
+        assert new_index == len(terms) + 1
+        assert log.entry_at(new_index).command == "tail"
+
+    @settings(max_examples=60, deadline=None)
+    @given(logs_with_compaction())
+    def test_install_snapshot_is_monotone(self, case):
+        log, terms, _ = case
+        before = log.snapshot_index
+        log.install_snapshot(before, log.snapshot_term)  # same point: no-op
+        assert log.snapshot_index == before
+        log.install_snapshot(len(terms) + 7, 9)
+        assert log.snapshot_index == len(terms) + 7
+        assert log.last_index == len(terms) + 7
+        assert len(log) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(logs_with_compaction())
+    def test_commands_cover_retained_suffix(self, case):
+        log, terms, compact_at = case
+        commands = log.commands()
+        expected = [f"cmd-{i}" for i in range(compact_at + 1, len(terms) + 1)]
+        assert commands == expected

@@ -1,0 +1,90 @@
+"""Property-based tests for the network simulator substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.engine import EventEngine
+from repro.simnet.topology import Position, Topology, connected_random_positions
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestEngineProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=40))
+    def test_events_execute_in_nondecreasing_time(self, delays):
+        engine = EventEngine(seed=0)
+        executed = []
+        for delay in delays:
+            engine.schedule(delay, lambda: executed.append(engine.now))
+        engine.run()
+        assert executed == sorted(executed)
+        assert len(executed) == len(delays)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seeds, st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=20))
+    def test_identical_seeds_identical_draws(self, seed, delays):
+        def trace(engine):
+            values = []
+            for delay in delays:
+                engine.schedule(delay, lambda: values.append(engine.rng.random()))
+            engine.run()
+            return values
+
+        assert trace(EventEngine(seed)) == trace(EventEngine(seed))
+
+
+class TestTopologyProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seeds, st.integers(min_value=2, max_value=25))
+    def test_connected_sampling_always_connected(self, seed, count):
+        rng = np.random.default_rng(seed)
+        positions = connected_random_positions(count, rng)
+        topology = Topology(positions)
+        assert topology.is_connected()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seeds, st.integers(min_value=2, max_value=20))
+    def test_hop_matrix_symmetric_with_zero_diagonal(self, seed, count):
+        rng = np.random.default_rng(seed)
+        topology = Topology(connected_random_positions(count, rng))
+        matrix = topology.hop_matrix()
+        assert (matrix == matrix.T).all()
+        assert (np.diag(matrix) == 0).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seeds, st.integers(min_value=3, max_value=15))
+    def test_hop_triangle_inequality(self, seed, count):
+        rng = np.random.default_rng(seed)
+        topology = Topology(connected_random_positions(count, rng))
+        matrix = topology.hop_matrix()
+        for i in range(count):
+            for j in range(count):
+                for k in range(count):
+                    assert matrix[i, j] <= matrix[i, k] + matrix[k, j]
+
+    @settings(max_examples=15, deadline=None)
+    @given(seeds, st.integers(min_value=2, max_value=15))
+    def test_neighbors_are_one_hop(self, seed, count):
+        rng = np.random.default_rng(seed)
+        topology = Topology(connected_random_positions(count, rng))
+        for node in range(count):
+            for neighbor in topology.neighbors(node):
+                assert topology.hop_count(node, neighbor) == 1
+                assert (
+                    topology.euclidean_distance(node, neighbor)
+                    <= topology.comm_range
+                )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seeds, st.integers(min_value=2, max_value=15))
+    def test_shortest_path_length_matches_hop_count(self, seed, count):
+        rng = np.random.default_rng(seed)
+        topology = Topology(connected_random_positions(count, rng))
+        for target in range(1, count):
+            path = topology.shortest_path(0, target)
+            assert len(path) - 1 == topology.hop_count(0, target)
+            # Consecutive path nodes are radio neighbours.
+            for a, b in zip(path, path[1:]):
+                assert b in topology.neighbors(a)

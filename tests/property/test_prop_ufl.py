@@ -1,0 +1,67 @@
+"""Property-based tests for the UFL solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.facility.greedy import solve_greedy
+from repro.facility.local_search import solve_local_search
+from repro.facility.lp_rounding import solve_lp_relaxation, solve_lp_rounding
+from repro.facility.mip import solve_milp
+from repro.facility.problem import UFLProblem
+
+
+@st.composite
+def ufl_instances(draw, max_facilities=6, max_clients=7):
+    num_f = draw(st.integers(min_value=1, max_value=max_facilities))
+    num_c = draw(st.integers(min_value=1, max_value=max_clients))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return UFLProblem(
+        facility_costs=rng.uniform(0.0, 20.0, size=num_f),
+        connection_costs=rng.uniform(0.0, 10.0, size=(num_f, num_c)),
+    )
+
+
+class TestSolverProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(ufl_instances())
+    def test_greedy_solution_valid(self, problem):
+        solve_greedy(problem).validate(problem)
+
+    @settings(max_examples=20, deadline=None)
+    @given(ufl_instances())
+    def test_local_search_solution_valid_and_no_worse(self, problem):
+        greedy = solve_greedy(problem)
+        improved = solve_local_search(problem)
+        improved.validate(problem)
+        assert improved.total_cost(problem) <= greedy.total_cost(problem) + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(ufl_instances())
+    def test_lp_rounding_solution_valid(self, problem):
+        solve_lp_rounding(problem).validate(problem)
+
+    @settings(max_examples=15, deadline=None)
+    @given(ufl_instances(max_facilities=5, max_clients=5))
+    def test_milp_optimal_bounds_heuristics(self, problem):
+        optimum = solve_milp(problem).total_cost(problem)
+        lp_bound = solve_lp_relaxation(problem).lower_bound
+        assert lp_bound <= optimum + 1e-6
+        for solver in (solve_greedy, solve_local_search, solve_lp_rounding):
+            assert solver(problem).total_cost(problem) >= optimum - 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(ufl_instances(max_facilities=5, max_clients=5))
+    def test_greedy_within_approximation_bound(self, problem):
+        """Greedy is a 1.861-approximation; check a safe 2x bound."""
+        optimum = solve_milp(problem).total_cost(problem)
+        greedy_cost = solve_greedy(problem).total_cost(problem)
+        if optimum > 0:
+            assert greedy_cost <= 2.0 * optimum + 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(ufl_instances())
+    def test_greedy_deterministic(self, problem):
+        assert solve_greedy(problem).open_facilities == solve_greedy(problem).open_facilities

@@ -1,0 +1,72 @@
+"""Unit tests for accounts and address derivation."""
+
+import pytest
+
+from repro.core.account import (
+    ADDRESS_PREFIX,
+    Account,
+    address_is_valid,
+    derive_address,
+    verify_address,
+)
+from repro.crypto.keys import PrivateKey
+
+
+class TestAddressDerivation:
+    def test_deterministic(self):
+        public = PrivateKey(42).public_key()
+        assert derive_address(public) == derive_address(public)
+
+    def test_satisfies_pattern(self):
+        for secret in (1, 2, 3, 999):
+            address = derive_address(PrivateKey(secret).public_key())
+            assert address.startswith(ADDRESS_PREFIX)
+
+    def test_distinct_keys_distinct_addresses(self):
+        a = derive_address(PrivateKey(1).public_key())
+        b = derive_address(PrivateKey(2).public_key())
+        assert a != b
+
+    def test_verify_address_accepts_own(self):
+        public = PrivateKey(7).public_key()
+        assert verify_address(derive_address(public), public)
+
+    def test_verify_address_rejects_other(self):
+        address = derive_address(PrivateKey(7).public_key())
+        other = PrivateKey(8).public_key()
+        assert not verify_address(address, other)
+
+    def test_address_is_valid(self):
+        address = derive_address(PrivateKey(3).public_key())
+        assert address_is_valid(address)
+
+    def test_invalid_addresses(self):
+        assert not address_is_valid("")
+        assert not address_is_valid("f" * 40)  # wrong prefix
+        assert not address_is_valid(ADDRESS_PREFIX + "0" * 10)  # wrong length
+        assert not address_is_valid(ADDRESS_PREFIX + "zz" + "0" * 37)  # non-hex
+
+
+class TestAccount:
+    def test_create_deterministic_from_seed(self):
+        a = Account.create(seed=("x", 1))
+        b = Account.create(seed=("x", 1))
+        assert a.address == b.address
+
+    def test_for_node_varies_with_node_id(self):
+        assert Account.for_node(0, 1).address != Account.for_node(0, 2).address
+
+    def test_for_node_varies_with_sim_seed(self):
+        assert Account.for_node(0, 1).address != Account.for_node(1, 1).address
+
+    def test_sign_verify_round_trip(self, account):
+        signature = account.sign(b"payload")
+        assert account.verify_own(b"payload", signature)
+        assert not account.verify_own(b"other", signature)
+
+    def test_address_matches_public_key(self, account):
+        assert verify_address(account.address, account.public_key)
+
+    def test_repr_hides_private_key(self, account):
+        assert "Private" not in repr(account)
+        assert account.address in repr(account)

@@ -1,0 +1,89 @@
+"""Unit-level tests for adversarial node behaviour and claim messages."""
+
+import pytest
+
+from repro.core.adversary import DenyingNode, SilentNode
+from repro.core.config import SystemConfig
+from repro.core.messages import CONTROL_BYTES, InvalidStorageClaim
+from repro.sim.cluster import build_cluster
+
+
+@pytest.fixture
+def world(fast_config):
+    return build_cluster(
+        5, fast_config, seed=29, node_classes={2: DenyingNode, 3: SilentNode}
+    )
+
+
+class TestClaimMessage:
+    def test_wire_size(self):
+        claim = InvalidStorageClaim(data_id="d", storing_node=2, claimer=0)
+        assert claim.wire_size() == CONTROL_BYTES
+
+    def test_immutable(self):
+        claim = InvalidStorageClaim(data_id="d", storing_node=2, claimer=0)
+        with pytest.raises(AttributeError):
+            claim.storing_node = 5  # type: ignore[misc]
+
+
+class TestAdversaryClasses:
+    def test_cluster_plants_requested_classes(self, world):
+        assert isinstance(world.nodes[2], DenyingNode)
+        assert isinstance(world.nodes[3], SilentNode)
+        assert not isinstance(world.nodes[0], (DenyingNode, SilentNode))
+
+    def test_denying_node_nacks_requests(self, world):
+        from repro.core.messages import DataRequest
+
+        world.start()
+        request = DataRequest(data_id="whatever", requester=0, request_id=1)
+        before = world.nodes[2].counters.data_nacks_sent
+        world.nodes[2]._on_data_request(0, request)
+        assert world.nodes[2].counters.data_nacks_sent == before + 1
+
+    def test_silent_node_sends_nothing(self, world):
+        from repro.core.messages import DataRequest
+
+        world.start()
+        sent_before = world.network.messages_sent
+        request = DataRequest(data_id="whatever", requester=0, request_id=1)
+        world.nodes[3]._on_data_request(0, request)
+        assert world.network.messages_sent == sent_before
+
+    def test_adversaries_still_mine(self, world):
+        world.start()
+        deadline = world.engine.now + 40 * world.config.expected_block_interval
+        world.engine.run_until(deadline)
+        # The chain advances with adversaries present.
+        assert world.longest_chain_node().chain.height > 5
+
+
+class TestClaimHandling:
+    def test_claim_recorded_on_receipt(self, world):
+        node = world.nodes[0]
+        claim = InvalidStorageClaim(data_id="item-x", storing_node=2, claimer=4)
+        node.handle(4, claim, "storage_claim")
+        assert ("item-x", 2) in node.invalid_storage
+
+    def test_invalid_pair_skipped_in_candidates(self, world, account):
+        from repro.core.metadata import create_metadata
+
+        node = world.nodes[0]
+        metadata = create_metadata(
+            account, producer=4, sequence=0, created_at=0.0
+        ).with_storing_nodes((1, 2, 3))
+        node.invalid_storage.add((metadata.data_id, 2))
+        candidates = node._candidates_for(metadata)
+        assert 2 not in candidates
+        assert 1 in candidates and 3 in candidates
+        assert candidates[-1] == 4  # producer fallback stays last
+
+    def test_invalid_producer_also_skipped(self, world, account):
+        from repro.core.metadata import create_metadata
+
+        node = world.nodes[0]
+        metadata = create_metadata(
+            account, producer=4, sequence=1, created_at=0.0
+        ).with_storing_nodes((1,))
+        node.invalid_storage.add((metadata.data_id, 4))
+        assert 4 not in node._candidates_for(metadata)

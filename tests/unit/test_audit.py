@@ -1,0 +1,94 @@
+"""Unit tests for the ledger audit tool."""
+
+import pytest
+
+from repro.core.account import Account
+from repro.core.audit import EarningKind, audit_chain
+from repro.core.block import Block
+from repro.core.blockchain import Blockchain
+from repro.core.config import SystemConfig
+from repro.core.metadata import create_metadata
+from repro.core.pos import compute_hit, compute_pos_hash, mining_delay
+
+
+@pytest.fixture
+def world():
+    config = SystemConfig(expected_block_interval=10.0, token_rescale_interval=4)
+    accounts = {i: Account.for_node(77, i) for i in range(3)}
+    address_of = {i: a.address for i, a in accounts.items()}
+    chain = Blockchain(list(range(3)), config, address_of)
+    return config, accounts, chain
+
+
+def mine(chain, accounts, miner, items=(), storing=(0,), recent=()):
+    parent = chain.tip
+    address = accounts[miner].address
+    state = chain.state
+    hit = compute_hit(parent.pos_hash, address, chain.config.hit_modulus)
+    amendment = state.amendment(parent.timestamp)
+    delay = mining_delay(
+        hit, state.tokens(miner), state.stored_items(miner, parent.timestamp), amendment
+    )
+    return Block(
+        index=parent.index + 1,
+        timestamp=parent.timestamp + delay,
+        previous_hash=parent.current_hash,
+        pos_hash=compute_pos_hash(parent.pos_hash, address),
+        miner=miner,
+        miner_address=address,
+        hit=hit,
+        target_b=amendment,
+        metadata_items=tuple(items),
+        storing_nodes=tuple(storing),
+        previous_storing_nodes=tuple(state.block_storing.get(parent.index, ())),
+        recent_cache_nodes=tuple(recent),
+    )
+
+
+class TestAuditChain:
+    def test_balances_match_chain_state(self, world):
+        config, accounts, chain = world
+        item = create_metadata(accounts[0], 0, 0, 0.0).with_storing_nodes((1, 2))
+        chain.append_block(mine(chain, accounts, 0, items=[item], storing=(2,), recent=(1,)))
+        chain.append_block(mine(chain, accounts, 1, storing=(0,)))
+        report = audit_chain(chain.blocks, range(3), config)
+        for node in range(3):
+            assert report.balance(node) == pytest.approx(chain.state.tokens(node))
+
+    def test_balances_match_after_rescaling(self, world):
+        config, accounts, chain = world
+        for _ in range(6):  # crosses the rescale at block 4
+            chain.append_block(mine(chain, accounts, 0))
+        report = audit_chain(chain.blocks, range(3), config)
+        for node in range(3):
+            assert report.balance(node) == pytest.approx(chain.state.tokens(node))
+        kinds = {e.kind for e in report.events}
+        assert EarningKind.RESCALE in kinds
+
+    def test_event_attribution(self, world):
+        config, accounts, chain = world
+        item = create_metadata(accounts[0], 0, 0, 0.0).with_storing_nodes((1,))
+        chain.append_block(mine(chain, accounts, 2, items=[item], storing=(0,), recent=(1,)))
+        report = audit_chain(chain.blocks, range(3), config)
+        by_kind_2 = report.earned_by_kind(2)
+        assert by_kind_2[EarningKind.MINING] == config.mining_incentive
+        by_kind_1 = report.earned_by_kind(1)
+        assert by_kind_1[EarningKind.DATA_STORAGE] == config.storage_incentive
+        assert by_kind_1[EarningKind.RECENT_CACHE] == config.storage_incentive
+        by_kind_0 = report.earned_by_kind(0)
+        assert by_kind_0[EarningKind.BLOCK_STORAGE] == config.storage_incentive
+
+    def test_events_sum_to_balance(self, world):
+        config, accounts, chain = world
+        for miner in (0, 1, 2, 0, 1):
+            chain.append_block(mine(chain, accounts, miner, storing=(miner,)))
+        report = audit_chain(chain.blocks, range(3), config)
+        for node in range(3):
+            total = sum(e.amount for e in report.events_for(node))
+            assert total == pytest.approx(report.balance(node))
+
+    def test_initial_stake_event_present(self, world):
+        config, _, chain = world
+        report = audit_chain(chain.blocks, range(3), config)
+        initials = [e for e in report.events if e.kind is EarningKind.INITIAL]
+        assert len(initials) == 3

@@ -1,0 +1,153 @@
+"""Unit tests for blocks."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.block import GENESIS_PREVIOUS_HASH, Block, make_genesis
+from repro.core.metadata import create_metadata
+
+
+@pytest.fixture
+def genesis():
+    return make_genesis(node_ids=(0, 1, 2), initial_b=1e15)
+
+
+@pytest.fixture
+def child(genesis, account):
+    return Block(
+        index=1,
+        timestamp=60.0,
+        previous_hash=genesis.current_hash,
+        pos_hash="ab" * 32,
+        miner=1,
+        miner_address=account.address,
+        hit=12345,
+        target_b=1e15,
+    )
+
+
+class TestGenesis:
+    def test_is_genesis(self, genesis):
+        assert genesis.is_genesis
+        assert genesis.index == 0
+
+    def test_previous_hash_sentinel(self, genesis):
+        assert genesis.previous_hash == GENESIS_PREVIOUS_HASH
+
+    def test_all_nodes_store_genesis(self, genesis):
+        assert genesis.storing_nodes == (0, 1, 2)
+
+    def test_deterministic(self):
+        a = make_genesis((0, 1), 1.0)
+        b = make_genesis((0, 1), 1.0)
+        assert a.current_hash == b.current_hash
+
+    def test_varies_with_membership(self):
+        assert make_genesis((0, 1), 1.0).current_hash != make_genesis((0, 2), 1.0).current_hash
+
+
+class TestBlockHash:
+    def test_hash_set_on_construction(self, child):
+        assert child.current_hash
+        assert child.hash_is_valid()
+
+    def test_hash_covers_metadata(self, genesis, account):
+        item = create_metadata(account, 1, 0, 10.0)
+        args = dict(
+            index=1,
+            timestamp=60.0,
+            previous_hash=genesis.current_hash,
+            pos_hash="ab" * 32,
+            miner=1,
+            miner_address=account.address,
+            hit=1,
+            target_b=1.0,
+        )
+        without = Block(**args)
+        with_item = Block(**args, metadata_items=(item.with_storing_nodes((0,)),))
+        assert without.current_hash != with_item.current_hash
+
+    def test_hash_covers_storing_nodes(self, child):
+        other = dataclasses.replace(
+            child, storing_nodes=(0, 1), current_hash=""
+        )
+        assert other.current_hash != child.current_hash
+
+    def test_tampered_block_detectable(self, child):
+        tampered = dataclasses.replace(child, hit=child.hit + 1)
+        # replace() keeps the old current_hash → invalid.
+        assert not tampered.hash_is_valid()
+
+    def test_hash_covers_recent_cache_nodes(self, child):
+        other = dataclasses.replace(child, recent_cache_nodes=(2,), current_hash="")
+        assert other.current_hash != child.current_hash
+
+
+class TestLinkage:
+    def test_links_to_parent(self, genesis, child):
+        assert child.links_to(genesis)
+
+    def test_wrong_index_fails(self, genesis, child):
+        wrong = dataclasses.replace(child, index=2, current_hash="")
+        assert not wrong.links_to(genesis)
+
+    def test_wrong_prev_hash_fails(self, genesis, child):
+        wrong = dataclasses.replace(child, previous_hash="0" * 64, current_hash="")
+        assert not wrong.links_to(genesis)
+
+    def test_timestamp_before_parent_fails(self, genesis, child):
+        late_genesis = make_genesis((0, 1, 2), 1.0, timestamp=100.0)
+        assert not dataclasses.replace(
+            child, previous_hash=late_genesis.current_hash, current_hash=""
+        ).links_to(late_genesis)
+
+
+class TestWireSize:
+    def test_header_only(self, child):
+        assert child.wire_size() == 256
+
+    def test_grows_with_contents(self, genesis, account, child):
+        item = create_metadata(account, 1, 0, 10.0).with_storing_nodes((0, 1))
+        bigger = dataclasses.replace(
+            child, metadata_items=(item,), storing_nodes=(0, 2), current_hash=""
+        )
+        assert bigger.wire_size() > child.wire_size()
+
+    def test_typical_block_under_10kb(self, genesis, account, child):
+        # Paper: "average block size is less than 10 KB" — 3 items/minute at
+        # a 60 s interval ≈ 3 items per block.
+        items = tuple(
+            create_metadata(account, 1, i, 10.0).with_storing_nodes((0, 1, 2))
+            for i in range(3)
+        )
+        block = dataclasses.replace(child, metadata_items=items, current_hash="")
+        assert block.wire_size() < 10_000
+
+
+class TestValidation:
+    def test_negative_index_rejected(self, genesis, account):
+        with pytest.raises(ValueError):
+            Block(
+                index=-1,
+                timestamp=0.0,
+                previous_hash=genesis.current_hash,
+                pos_hash="ab",
+                miner=0,
+                miner_address=account.address,
+                hit=0,
+                target_b=1.0,
+            )
+
+    def test_negative_hit_rejected(self, genesis, account):
+        with pytest.raises(ValueError):
+            Block(
+                index=1,
+                timestamp=0.0,
+                previous_hash=genesis.current_hash,
+                pos_hash="ab",
+                miner=0,
+                miner_address=account.address,
+                hit=-1,
+                target_b=1.0,
+            )

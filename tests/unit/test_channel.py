@@ -1,0 +1,67 @@
+"""Unit tests for the channel model."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.channel import DEFAULT_HOP_DELAY, ChannelModel
+
+
+class TestChannelModel:
+    def test_default_hop_delay_is_papers_10ms(self):
+        assert DEFAULT_HOP_DELAY == 0.010
+
+    def test_hop_latency_includes_serialisation(self):
+        channel = ChannelModel(hop_delay=0.010, bandwidth=1_000_000)
+        assert channel.hop_latency(1_000_000) == pytest.approx(1.010)
+
+    def test_hop_latency_pure_propagation(self):
+        channel = ChannelModel(hop_delay=0.010, bandwidth=None)
+        assert channel.hop_latency(10**9) == 0.010
+
+    def test_path_latency_scales_with_hops(self):
+        channel = ChannelModel(hop_delay=0.010, bandwidth=None)
+        assert channel.path_latency(100, 5) == pytest.approx(0.050)
+
+    def test_zero_hops_zero_latency(self):
+        assert ChannelModel().path_latency(1000, 0) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelModel().hop_latency(-1)
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelModel().path_latency(10, -1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelModel(hop_delay=-0.1)
+        with pytest.raises(ValueError):
+            ChannelModel(bandwidth=0)
+        with pytest.raises(ValueError):
+            ChannelModel(loss_probability=1.0)
+        with pytest.raises(ValueError):
+            ChannelModel(loss_probability=-0.1)
+
+    def test_lossless_always_survives(self, rng):
+        channel = ChannelModel(loss_probability=0.0)
+        assert all(channel.survives(10, rng) for _ in range(100))
+
+    def test_zero_hops_always_survives(self, rng):
+        channel = ChannelModel(loss_probability=0.9)
+        assert channel.survives(0, rng)
+
+    def test_lossy_channel_loses_sometimes(self, rng):
+        channel = ChannelModel(loss_probability=0.5)
+        outcomes = [channel.survives(1, rng) for _ in range(500)]
+        survived = sum(outcomes)
+        # ~50 % survival with generous tolerance.
+        assert 150 < survived < 350
+
+    def test_loss_compounds_with_hops(self):
+        channel = ChannelModel(loss_probability=0.3)
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        one_hop = sum(channel.survives(1, rng_a) for _ in range(2000))
+        three_hop = sum(channel.survives(3, rng_b) for _ in range(2000))
+        assert three_hop < one_hop

@@ -1,0 +1,152 @@
+"""Unit tests for checkpoint blocks (the §V-D nothing-at-stake mitigation)."""
+
+import pytest
+
+from repro.core.account import Account
+from repro.core.block import Block
+from repro.core.blockchain import Blockchain
+from repro.core.config import SystemConfig
+from repro.core.errors import ValidationError
+from repro.core.pos import compute_hit, compute_pos_hash, mining_delay
+
+
+def make_world(checkpoint_interval, checkpoint_lag=0):
+    # lag 0: blocks checkpoint as soon as the chain reaches them (the
+    # simplest semantics for unit-testing the reorg rules; the network
+    # tests exercise the default confirmation lag).
+    config = SystemConfig(
+        expected_block_interval=10.0,
+        checkpoint_interval=checkpoint_interval,
+        checkpoint_lag=checkpoint_lag,
+    )
+    accounts = {i: Account.for_node(55, i) for i in range(3)}
+    address_of = {i: a.address for i, a in accounts.items()}
+    chain = Blockchain(list(range(3)), config, address_of)
+    return config, accounts, chain
+
+
+def mine(chain, accounts, miner):
+    parent = chain.tip
+    address = accounts[miner].address
+    state = chain.state
+    hit = compute_hit(parent.pos_hash, address, chain.config.hit_modulus)
+    amendment = state.amendment(parent.timestamp)
+    delay = mining_delay(
+        hit,
+        state.tokens(miner),
+        state.stored_items(miner, parent.timestamp),
+        amendment,
+    )
+    return Block(
+        index=parent.index + 1,
+        timestamp=parent.timestamp + delay,
+        previous_hash=parent.current_hash,
+        pos_hash=compute_pos_hash(parent.pos_hash, address),
+        miner=miner,
+        miner_address=address,
+        hit=hit,
+        target_b=amendment,
+        storing_nodes=(miner,),
+        previous_storing_nodes=tuple(state.block_storing.get(parent.index, ())),
+    )
+
+
+def grow(chain, accounts, miners):
+    for miner in miners:
+        chain.append_block(mine(chain, accounts, miner))
+
+
+class TestLastCheckpoint:
+    def test_disabled_by_default(self):
+        _, accounts, chain = make_world(checkpoint_interval=0)
+        grow(chain, accounts, [0, 1, 2, 0, 1])
+        assert chain.last_checkpoint() == 0
+
+    def test_advances_in_intervals(self):
+        _, accounts, chain = make_world(checkpoint_interval=3)
+        assert chain.last_checkpoint() == 0
+        grow(chain, accounts, [0, 1])
+        assert chain.last_checkpoint() == 0
+        grow(chain, accounts, [2])  # height 3
+        assert chain.last_checkpoint() == 3
+        grow(chain, accounts, [0, 1])  # height 5
+        assert chain.last_checkpoint() == 3
+        grow(chain, accounts, [2])  # height 6
+        assert chain.last_checkpoint() == 6
+
+
+class TestCheckpointedReorg:
+    def test_shallow_reorg_still_allowed(self):
+        _, accounts, chain = make_world(checkpoint_interval=3)
+        _, _, other = make_world(checkpoint_interval=3)
+        shared = [mine(chain, accounts, 0), ]
+        chain.append_block(shared[0])
+        other.append_block(shared[0])
+        # Our chain: height 2 via miner 1.  Other: height 3 via miner 2.
+        grow(chain, accounts, [1])
+        grow(other, accounts, [2, 0])
+        # Checkpoint is still 0 (height 2 < interval), so the longer fork
+        # that diverges at height 2 is acceptable.
+        assert chain.consider_chain(other.blocks)
+        assert chain.tip.current_hash == other.tip.current_hash
+
+    def test_reorg_across_checkpoint_refused(self):
+        _, accounts, chain = make_world(checkpoint_interval=2)
+        _, _, other = make_world(checkpoint_interval=2)
+        shared = mine(chain, accounts, 0)
+        chain.append_block(shared)
+        other.append_block(shared)
+        # Diverge at height 2, then our chain passes the checkpoint.
+        grow(chain, accounts, [1, 2])  # height 3, checkpoint at 2
+        grow(other, accounts, [2, 0, 1, 2])  # height 5, different block 2
+        assert chain.last_checkpoint() == 2
+        with pytest.raises(ValidationError):
+            chain.consider_chain(other.blocks)
+        # Our chain is untouched.
+        assert chain.height == 3
+
+    def test_reorg_agreeing_through_checkpoint_allowed(self):
+        _, accounts, chain = make_world(checkpoint_interval=2)
+        _, _, other = make_world(checkpoint_interval=2)
+        for miner in (0, 1, 2):
+            block = mine(chain, accounts, miner)
+            chain.append_block(block)
+            other.append_block(block)
+        # Fork only above the checkpoint (height 3+).
+        grow(other, accounts, [0, 1])
+        assert chain.last_checkpoint() == 2
+        assert chain.consider_chain(other.blocks)
+        assert chain.height == 5
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(checkpoint_interval=-1)
+        with pytest.raises(ValueError):
+            SystemConfig(checkpoint_interval=2, checkpoint_lag=-1)
+
+
+class TestConfirmationLag:
+    def test_default_lag_is_twice_interval(self):
+        _, accounts, chain = make_world(checkpoint_interval=3, checkpoint_lag=None)
+        grow(chain, accounts, [0, 1, 2])  # height 3
+        # Block 3 is a checkpoint candidate but not yet 6 deep.
+        assert chain.last_checkpoint() == 0
+        grow(chain, accounts, [0, 1, 2, 0, 1, 2])  # height 9
+        # Confirmed height = 9 − 6 = 3 → checkpoint at 3.
+        assert chain.last_checkpoint() == 3
+
+    def test_explicit_lag(self):
+        _, accounts, chain = make_world(checkpoint_interval=2, checkpoint_lag=1)
+        grow(chain, accounts, [0, 1, 2])  # height 3, confirmed 2
+        assert chain.last_checkpoint() == 2
+
+    def test_lagged_checkpoint_permits_recent_reorg(self):
+        _, accounts, chain = make_world(checkpoint_interval=2, checkpoint_lag=4)
+        _, _, other = make_world(checkpoint_interval=2, checkpoint_lag=4)
+        shared = mine(chain, accounts, 0)
+        chain.append_block(shared)
+        other.append_block(shared)
+        grow(chain, accounts, [1, 2])  # height 3; confirmed height < 0 → no ckpt
+        grow(other, accounts, [2, 0, 1, 2])  # height 5, diverges at 2
+        assert chain.last_checkpoint() == 0
+        assert chain.consider_chain(other.blocks)  # recent fork still resolvable

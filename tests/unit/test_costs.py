@@ -1,0 +1,116 @@
+"""Unit tests for the FDC (Eq. 1) and RDC (Eq. 2) cost builders."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.facility.costs import (
+    DEFAULT_FDC_WEIGHT,
+    build_storage_ufl,
+    fairness_degree_cost,
+    fairness_degree_costs,
+    range_distance_costs,
+)
+from repro.simnet.topology import UNREACHABLE
+
+
+class TestFairnessDegreeCost:
+    def test_paper_formula(self):
+        # f = W / (W_tol − W)
+        assert fairness_degree_cost(50, 250) == pytest.approx(50 / 200)
+
+    def test_empty_node_is_free(self):
+        assert fairness_degree_cost(0, 250) == 0.0
+
+    def test_full_node_is_infinite(self):
+        assert fairness_degree_cost(250, 250) == math.inf
+
+    def test_monotone_in_usage(self):
+        costs = [fairness_degree_cost(u, 100) for u in range(0, 100, 10)]
+        assert costs == sorted(costs)
+        assert len(set(costs)) == len(costs)
+
+    def test_half_full_equals_one(self):
+        assert fairness_degree_cost(125, 250) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fairness_degree_cost(-1, 10)
+        with pytest.raises(ValueError):
+            fairness_degree_cost(11, 10)
+        with pytest.raises(ValueError):
+            fairness_degree_cost(0, 0)
+
+    def test_vectorised(self):
+        costs = fairness_degree_costs([0, 125, 250], [250, 250, 250])
+        assert costs[0] == 0.0
+        assert costs[1] == pytest.approx(1.0)
+        assert costs[2] == math.inf
+
+    def test_vectorised_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fairness_degree_costs([1, 2], [10])
+
+
+class TestRangeDistanceCost:
+    def test_paper_formula(self):
+        hops = np.array([[0, 2], [2, 0]])
+        cost = range_distance_costs(hops, [30.0, 10.0])
+        # c_01 = d + range(0) + range(1) = 2 + 30 + 10
+        assert cost[0, 1] == pytest.approx(42.0)
+        assert cost[1, 0] == pytest.approx(42.0)
+
+    def test_diagonal_zero(self):
+        hops = np.array([[0, 1], [1, 0]])
+        cost = range_distance_costs(hops, [30.0, 30.0])
+        assert cost[0, 0] == 0.0 and cost[1, 1] == 0.0
+
+    def test_unreachable_is_infinite(self):
+        hops = np.array([[0, UNREACHABLE], [UNREACHABLE, 0]])
+        cost = range_distance_costs(hops, [1.0, 1.0])
+        assert cost[0, 1] == math.inf
+
+    def test_hop_scale(self):
+        hops = np.array([[0, 3], [3, 0]])
+        cost = range_distance_costs(hops, [0.0, 0.0], hop_scale=70.0)
+        assert cost[0, 1] == pytest.approx(210.0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            range_distance_costs(np.zeros((2, 3)), [0, 0])
+
+    def test_range_length_mismatch(self):
+        with pytest.raises(ValueError):
+            range_distance_costs(np.zeros((2, 2)), [0.0])
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            range_distance_costs(np.zeros((2, 2)), [-1.0, 0.0])
+
+
+class TestBuildStorageUFL:
+    def test_default_weight_is_papers_1000(self):
+        assert DEFAULT_FDC_WEIGHT == 1000.0
+
+    def test_weighting_applied(self):
+        hops = np.zeros((2, 2))
+        problem = build_storage_ufl([125, 0], [250, 250], hops, [0, 0])
+        assert problem.facility_costs[0] == pytest.approx(1000.0)
+        assert problem.facility_costs[1] == 0.0
+
+    def test_exclusion(self):
+        hops = np.zeros((2, 2))
+        problem = build_storage_ufl(
+            [0, 0], [250, 250], hops, [0, 0], exclude_nodes=[1]
+        )
+        assert problem.facility_costs[1] == math.inf
+        assert list(problem.openable_facilities()) == [0]
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            build_storage_ufl([0], [1], np.zeros((1, 1)), [0], fdc_weight=-1)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_storage_ufl([0, 0], [1, 1], np.zeros((3, 3)), [0, 0, 0])

@@ -1,0 +1,141 @@
+"""Unit tests for the energy substrate (battery, profile, meter)."""
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.energy.meter import EnergyMeter
+from repro.energy.profile import (
+    GALAXY_S8_BATTERY_JOULES,
+    GALAXY_S8_PROFILE,
+    EnergyProfile,
+)
+
+
+class TestBattery:
+    def test_starts_full(self):
+        assert Battery(capacity_joules=100.0).remaining_percent == 100.0
+
+    def test_drain(self):
+        battery = Battery(capacity_joules=100.0)
+        assert battery.drain(25.0) == 25.0
+        assert battery.remaining_percent == 75.0
+        assert battery.consumed_joules == 25.0
+
+    def test_drain_clamps_at_empty(self):
+        battery = Battery(capacity_joules=10.0)
+        assert battery.drain(25.0) == 10.0
+        assert battery.depleted
+        assert battery.remaining_percent == 0.0
+
+    def test_negative_drain_rejected(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_joules=10.0).drain(-1.0)
+
+    def test_recharge(self):
+        battery = Battery(capacity_joules=10.0)
+        battery.drain(10.0)
+        battery.recharge_full()
+        assert battery.remaining_percent == 100.0
+        assert not battery.depleted
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_joules=0.0)
+
+    def test_partial_initial_charge(self):
+        battery = Battery(capacity_joules=100.0, remaining_joules=40.0)
+        assert battery.remaining_percent == 40.0
+
+    def test_overfull_rejected(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_joules=100.0, remaining_joules=150.0)
+
+
+class TestEnergyProfile:
+    def test_galaxy_s8_capacity(self):
+        # 3000 mAh × 3.85 V × 3.6 J per mAh·V
+        assert GALAXY_S8_BATTERY_JOULES == pytest.approx(41_580.0)
+
+    def test_pow_energy_linear_in_attempts(self):
+        profile = EnergyProfile(pow_hash_energy=2.0)
+        assert profile.pow_mining_energy(10) == 20.0
+
+    def test_pos_energy_linear_in_time(self):
+        profile = EnergyProfile(pos_tick_energy=1.5)
+        assert profile.pos_mining_energy(25.0) == 37.5
+
+    def test_radio_energy(self):
+        profile = EnergyProfile(tx_energy_per_byte=2.0, rx_energy_per_byte=1.0)
+        assert profile.radio_energy(3, 5) == 11.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            GALAXY_S8_PROFILE.pow_mining_energy(-1)
+        with pytest.raises(ValueError):
+            GALAXY_S8_PROFILE.pos_mining_energy(-1.0)
+        with pytest.raises(ValueError):
+            GALAXY_S8_PROFILE.radio_energy(-1, 0)
+
+    def test_negative_profile_field_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyProfile(pow_hash_energy=-1.0)
+
+    def test_paper_calibration_pow_blocks_per_percent(self):
+        # Paper: "4 blocks consume about 1% battery of the phone in PoW".
+        per_block = GALAXY_S8_PROFILE.pow_mining_energy(16**4)
+        one_percent = GALAXY_S8_PROFILE.battery_capacity_joules / 100.0
+        assert one_percent / per_block == pytest.approx(4.0, rel=0.05)
+
+    def test_paper_calibration_pos_blocks_per_percent(self):
+        # Paper: "11 blocks consume 1% battery" at 25 s per block.
+        per_block = GALAXY_S8_PROFILE.pos_mining_energy(25.0)
+        one_percent = GALAXY_S8_PROFILE.battery_capacity_joules / 100.0
+        assert one_percent / per_block == pytest.approx(11.0, rel=0.05)
+
+
+class TestEnergyMeter:
+    def test_pow_charge_recorded(self):
+        meter = EnergyMeter()
+        meter.charge_pow_hashes(1000)
+        assert meter.consumed_by("pow_mining") > 0
+        assert meter.remaining_percent < 100.0
+
+    def test_pos_charge_recorded(self):
+        meter = EnergyMeter()
+        meter.charge_pos_ticks(60.0)
+        assert meter.consumed_by("pos_mining") == pytest.approx(90.0)
+
+    def test_signature_and_radio_categories(self):
+        meter = EnergyMeter()
+        meter.charge_signature(3)
+        meter.charge_radio(tx_bytes=1000, rx_bytes=500)
+        ledger = meter.ledger()
+        assert set(ledger) == {"crypto", "radio"}
+
+    def test_total_consumed_matches_battery(self):
+        meter = EnergyMeter()
+        meter.charge_pow_hashes(500)
+        meter.charge_pos_ticks(10)
+        assert meter.total_consumed() == pytest.approx(
+            meter.battery.consumed_joules
+        )
+
+    def test_depletion_stops_accounting_at_zero(self):
+        profile = EnergyProfile(battery_capacity_joules=10.0, pow_hash_energy=1.0)
+        meter = EnergyMeter(profile=profile)
+        meter.charge_pow_hashes(100)
+        assert meter.depleted
+        assert meter.total_consumed() == pytest.approx(10.0)
+
+    def test_idle_power(self):
+        profile = EnergyProfile(idle_power=0.5)
+        meter = EnergyMeter(profile=profile)
+        meter.charge_idle(10.0)
+        assert meter.consumed_by("idle") == pytest.approx(5.0)
+
+    def test_negative_counts_rejected(self):
+        meter = EnergyMeter()
+        with pytest.raises(ValueError):
+            meter.charge_signature(-1)
+        with pytest.raises(ValueError):
+            meter.charge_idle(-1.0)

@@ -1,0 +1,120 @@
+"""Unit tests for result export and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.metrics.collector import collect_run_metrics
+from repro.metrics.export import (
+    metrics_to_record,
+    read_json,
+    write_csv,
+    write_json,
+)
+from repro.simnet.trace import TransmissionTrace
+
+
+@pytest.fixture
+def sample_metrics():
+    trace = TransmissionTrace()
+    trace.record_hop(0, 1, 1000, "data_response")
+    return collect_run_metrics(
+        node_count=2,
+        duration_seconds=60.0,
+        trace=trace,
+        storage_used=[3, 4],
+        delivery_times=[0.5],
+        failed_requests=0,
+        block_timestamps=[0.0, 30.0],
+        blocks_mined={0: 1},
+    )
+
+
+class TestExport:
+    def test_record_contains_labels_and_metrics(self, sample_metrics):
+        record = metrics_to_record(sample_metrics, solver="greedy", seed=7)
+        assert record["solver"] == "greedy"
+        assert record["seed"] == 7
+        assert record["chain_height"] == 1
+        assert record["storage_gini"] == pytest.approx(
+            sample_metrics.storage_gini()
+        )
+        assert record["category_bytes"] == {"data_response": 1000}
+
+    def test_json_round_trip(self, sample_metrics, tmp_path):
+        records = [metrics_to_record(sample_metrics, seed=1)]
+        path = write_json(records, tmp_path / "out" / "run.json")
+        loaded = read_json(path)
+        assert loaded[0]["seed"] == 1
+        assert loaded[0]["chain_height"] == 1
+
+    def test_csv_written_with_union_header(self, sample_metrics, tmp_path):
+        records = [
+            metrics_to_record(sample_metrics, seed=1),
+            {**metrics_to_record(sample_metrics, seed=2), "extra": "x"},
+        ]
+        path = write_csv(records, tmp_path / "run.csv")
+        lines = path.read_text().splitlines()
+        assert "extra" in lines[0]
+        assert len(lines) == 3
+
+    def test_csv_encodes_nested_dicts(self, sample_metrics, tmp_path):
+        path = write_csv([metrics_to_record(sample_metrics)], tmp_path / "r.csv")
+        body = path.read_text()
+        assert "data_response" in body
+
+    def test_empty_csv_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "empty.csv")
+
+
+class TestCLI:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        for command in ("run", "fig4", "fig5", "fig6"):
+            args = parser.parse_args([command] if command == "fig6" else [command])
+            assert args.command == command
+
+    def test_run_command_executes_and_exports(self, tmp_path, capsys):
+        json_path = tmp_path / "run.json"
+        exit_code = main(
+            [
+                "run",
+                "--nodes", "5",
+                "--minutes", "5",
+                "--seed", "3",
+                "--block-interval", "15",
+                "--json", str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "chain height" in output
+        record = json.loads(json_path.read_text())[0]
+        assert record["node_count"] == 5
+
+    def test_fig4_command_runs_reduced_sweep(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig4.csv"
+        exit_code = main(
+            ["fig4", "--node-counts", "6", "--rates", "1", "--seed", "2",
+             "--csv", str(csv_path)]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Gini" in output
+        assert csv_path.exists()
+
+    def test_fig5_command_runs_reduced_sweep(self, capsys):
+        assert main(["fig5", "--node-counts", "6", "--seed", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "opt delivery" in output and "rand delivery" in output
+
+    def test_fig6_command_prints_series(self, capsys):
+        assert main(["fig6", "--minutes", "12"]) == 0
+        output = capsys.readouterr().out
+        assert "PoW blocks" in output and "PoS battery" in output
+
+    def test_run_command_rejects_unknown_solver(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--solver", "quantum"])

@@ -1,0 +1,107 @@
+"""Unit tests for fault injection."""
+
+import pytest
+
+from repro.simnet.channel import ChannelModel
+from repro.simnet.engine import EventEngine
+from repro.simnet.faults import ChurnEvent, ChurnInjector, PartitionInjector
+from repro.simnet.topology import Position, Topology
+from repro.simnet.transport import Network
+
+
+@pytest.fixture
+def net():
+    engine = EventEngine(seed=9)
+    positions = [Position(50.0 * i, 0.0) for i in range(4)]
+    topology = Topology(positions, comm_range=70.0)
+    network = Network(engine, topology, ChannelModel(bandwidth=None))
+    for n in range(4):
+        network.register(n, lambda *a: None)
+    return engine, network
+
+
+class TestChurnEvent:
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(node=0, down_at=5.0, up_at=5.0)
+
+
+class TestChurnInjector:
+    def test_down_then_up(self, net):
+        engine, network = net
+        injector = ChurnInjector(engine, network)
+        injector.plan(ChurnEvent(node=1, down_at=1.0, up_at=3.0))
+        engine.run_until(2.0)
+        assert not network.is_online(1)
+        engine.run_until(4.0)
+        assert network.is_online(1)
+
+    def test_callbacks_fire(self, net):
+        engine, network = net
+        downs, ups = [], []
+        injector = ChurnInjector(engine, network, on_down=downs.append, on_up=ups.append)
+        injector.plan(ChurnEvent(node=2, down_at=1.0, up_at=2.0))
+        engine.run_until(5.0)
+        assert downs == [2] and ups == [2]
+
+    def test_plan_random_windows_within_horizon(self, net):
+        engine, network = net
+        injector = ChurnInjector(engine, network)
+        events = injector.plan_random(
+            node_ids=[0, 1], horizon=100.0, mean_downtime=5.0, events_per_node=3
+        )
+        assert len(events) > 0
+        for event in events:
+            assert 0 <= event.down_at <= 100.0
+            assert event.up_at > event.down_at
+
+    def test_plan_random_no_overlap_per_node(self, net):
+        engine, network = net
+        injector = ChurnInjector(engine, network)
+        events = injector.plan_random(
+            node_ids=[0], horizon=50.0, mean_downtime=20.0, events_per_node=5
+        )
+        windows = sorted((e.down_at, e.up_at) for e in events)
+        for (_, up_a), (down_b, _) in zip(windows, windows[1:]):
+            assert down_b >= up_a
+
+    def test_planned_events_recorded(self, net):
+        engine, network = net
+        injector = ChurnInjector(engine, network)
+        injector.plan(ChurnEvent(node=0, down_at=1.0, up_at=2.0))
+        assert len(injector.planned_events) == 1
+
+
+class TestPartitionInjector:
+    def test_partition_blocks_cross_traffic(self, net):
+        engine, network = net
+        injector = PartitionInjector(network)
+        removed = injector.partition([0, 1], [2, 3])
+        assert removed == 1  # only edge (1,2) crosses
+        assert not network.send(0, 3, "x", 1, "t").delivered
+        assert network.send(0, 1, "x", 1, "t").delivered
+
+    def test_heal_restores(self, net):
+        engine, network = net
+        injector = PartitionInjector(network)
+        injector.partition([0, 1], [2, 3])
+        injector.heal()
+        assert network.send(0, 3, "x", 1, "t").delivered
+        assert not injector.active
+
+    def test_double_partition_rejected(self, net):
+        _, network = net
+        injector = PartitionInjector(network)
+        injector.partition([0], [3])
+        with pytest.raises(RuntimeError):
+            injector.partition([0], [2])
+
+    def test_overlapping_groups_rejected(self, net):
+        _, network = net
+        injector = PartitionInjector(network)
+        with pytest.raises(ValueError):
+            injector.partition([0, 1], [1, 2])
+
+    def test_heal_without_partition_is_noop(self, net):
+        _, network = net
+        PartitionInjector(network).heal()

@@ -1,0 +1,78 @@
+"""Unit tests for the epidemic gossip fabric."""
+
+import pytest
+
+from repro.simnet.channel import ChannelModel
+from repro.simnet.engine import EventEngine
+from repro.simnet.gossip import GossipFabric
+from repro.simnet.topology import Position, Topology
+
+
+@pytest.fixture
+def fabric():
+    engine = EventEngine(seed=3)
+    positions = [Position(50.0 * i, 0.0) for i in range(5)]
+    topology = Topology(positions, comm_range=70.0)
+    fabric = GossipFabric(engine, topology, ChannelModel(bandwidth=None))
+    received = []
+    fabric.on_receive(lambda node, origin, payload: received.append((node, origin, payload)))
+    return engine, fabric, received
+
+
+class TestGossip:
+    def test_reaches_every_node_once(self, fabric):
+        engine, gossip, received = fabric
+        gossip.originate(0, "msg", 100, "test")
+        engine.run()
+        nodes = [node for node, _, _ in received]
+        assert sorted(nodes) == [1, 2, 3, 4]
+        assert len(nodes) == len(set(nodes))  # no duplicate deliveries
+
+    def test_nodes_reached_tracks_origin(self, fabric):
+        engine, gossip, _ = fabric
+        mid = gossip.originate(2, "m", 10, "t")
+        engine.run()
+        assert gossip.nodes_reached(mid) == {0, 1, 2, 3, 4}
+
+    def test_latency_matches_hop_distance(self, fabric):
+        engine, gossip, received = fabric
+        gossip.originate(0, "m", 0, "t")
+        engine.run_until(0.015)
+        assert {n for n, _, _ in received} == {1}
+        engine.run_until(0.045)
+        assert {n for n, _, _ in received} == {1, 2, 3, 4}
+
+    def test_offline_node_not_reached(self, fabric):
+        engine, gossip, received = fabric
+        gossip.set_online(2, False)
+        gossip.originate(0, "m", 10, "t")
+        engine.run()
+        assert {n for n, _, _ in received} == {1}
+
+    def test_origin_offline_rejected(self, fabric):
+        _, gossip, _ = fabric
+        gossip.set_online(0, False)
+        with pytest.raises(ValueError):
+            gossip.originate(0, "m", 10, "t")
+
+    def test_flooding_bills_redundant_edges(self, fabric):
+        engine, gossip, _ = fabric
+        gossip.originate(0, "m", 100, "t")
+        engine.run()
+        # Line graph: node 0 sends 1; nodes 1-3 forward to both neighbours;
+        # node 4 forwards back.  8 transmissions total.
+        assert gossip.trace.total_bytes() == 800
+
+    def test_distinct_message_ids(self, fabric):
+        _, gossip, _ = fabric
+        assert gossip.originate(0, "a", 1, "t") != gossip.originate(0, "b", 1, "t")
+
+    def test_two_concurrent_gossips_do_not_interfere(self, fabric):
+        engine, gossip, received = fabric
+        gossip.originate(0, "a", 1, "t")
+        gossip.originate(4, "b", 1, "t")
+        engine.run()
+        payload_a = [n for n, _, p in received if p == "a"]
+        payload_b = [n for n, _, p in received if p == "b"]
+        assert sorted(payload_a) == [1, 2, 3, 4]
+        assert sorted(payload_b) == [0, 1, 2, 3]

@@ -1,0 +1,71 @@
+"""Unit + property tests for Jain's fairness index."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.gini import gini_coefficient, jain_index
+
+
+class TestJainIndex:
+    def test_equal_values_are_perfectly_fair(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_single_holder_is_one_over_n(self):
+        assert jain_index([0, 0, 0, 10]) == pytest.approx(0.25)
+
+    def test_all_zero_defined_as_fair(self):
+        assert jain_index([0, 0, 0]) == 1.0
+
+    def test_known_value(self):
+        # (1+3)² / (2·(1+9)) = 16/20
+        assert jain_index([1, 3]) == pytest.approx(0.8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([-1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_bounded(self, values):
+        index = jain_index(values)
+        assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=40,
+        ),
+        st.floats(min_value=0.01, max_value=100),
+    )
+    def test_scale_invariant(self, values, scale):
+        assert jain_index([v * scale for v in values]) == pytest.approx(
+            jain_index(values), rel=1e-9
+        )
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    def test_agrees_with_gini_on_direction(self, values):
+        """Perfectly equal ⇔ Jain = 1 ⇔ Gini = 0."""
+        gini = gini_coefficient(values)
+        jain = jain_index(values)
+        if gini == pytest.approx(0.0, abs=1e-12):
+            assert jain == pytest.approx(1.0, abs=1e-6)
+        if jain == pytest.approx(1.0, abs=1e-12) and sum(values) > 0:
+            assert gini == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,137 @@
+"""Unit tests for the SWIM membership substrate."""
+
+import pytest
+
+from repro.membership.messages import (
+    Ack,
+    MembershipUpdate,
+    MemberStatus,
+    Ping,
+    PingReq,
+)
+from repro.membership.state import DisseminationBuffer, MembershipTable
+
+
+def update(member, status, incarnation=0):
+    return MembershipUpdate(member=member, status=status, incarnation=incarnation)
+
+
+class TestMembershipTable:
+    def test_all_alive_initially(self):
+        table = MembershipTable(0, [0, 1, 2])
+        assert table.alive_members() == [1, 2]
+        assert table.status(1) is MemberStatus.ALIVE
+
+    def test_self_must_be_member(self):
+        with pytest.raises(ValueError):
+            MembershipTable(9, [0, 1])
+
+    def test_suspect_overrides_alive_same_incarnation(self):
+        table = MembershipTable(0, [0, 1])
+        applied = table.apply(update(1, MemberStatus.SUSPECT, 0), now=1.0)
+        assert applied is not None
+        assert table.status(1) is MemberStatus.SUSPECT
+
+    def test_alive_refutes_suspect_with_higher_incarnation(self):
+        table = MembershipTable(0, [0, 1])
+        table.apply(update(1, MemberStatus.SUSPECT, 0), now=1.0)
+        applied = table.apply(update(1, MemberStatus.ALIVE, 1), now=2.0)
+        assert applied is not None
+        assert table.status(1) is MemberStatus.ALIVE
+
+    def test_stale_alive_does_not_refute(self):
+        table = MembershipTable(0, [0, 1])
+        table.apply(update(1, MemberStatus.SUSPECT, 3), now=1.0)
+        assert table.apply(update(1, MemberStatus.ALIVE, 3), now=2.0) is None
+        assert table.status(1) is MemberStatus.SUSPECT
+
+    def test_dead_is_final(self):
+        table = MembershipTable(0, [0, 1])
+        table.apply(update(1, MemberStatus.DEAD, 0), now=1.0)
+        assert table.apply(update(1, MemberStatus.ALIVE, 99), now=2.0) is None
+        assert table.status(1) is MemberStatus.DEAD
+
+    def test_self_suspicion_triggers_refutation(self):
+        table = MembershipTable(0, [0, 1])
+        refutation = table.apply(update(0, MemberStatus.SUSPECT, 0), now=1.0)
+        assert refutation is not None
+        assert refutation.status is MemberStatus.ALIVE
+        assert refutation.incarnation == 1
+        assert table.status(0) is MemberStatus.ALIVE
+        assert table.incarnation == 1
+
+    def test_dynamic_join(self):
+        table = MembershipTable(0, [0, 1])
+        applied = table.apply(update(7, MemberStatus.ALIVE, 0), now=1.0)
+        assert applied is not None
+        assert 7 in table.members()
+
+    def test_expire_suspects(self):
+        table = MembershipTable(0, [0, 1, 2])
+        table.apply(update(1, MemberStatus.SUSPECT, 0), now=1.0)
+        table.apply(update(2, MemberStatus.SUSPECT, 0), now=4.0)
+        declared = table.expire_suspects(now=6.5, suspicion_timeout=5.0)
+        assert [d.member for d in declared] == [1]
+        assert table.status(1) is MemberStatus.DEAD
+        assert table.status(2) is MemberStatus.SUSPECT
+
+    def test_suspects_listing(self):
+        table = MembershipTable(0, [0, 1, 2])
+        table.apply(update(2, MemberStatus.SUSPECT, 0), now=1.0)
+        assert table.suspects() == [2]
+
+
+class TestDisseminationBuffer:
+    def test_take_returns_pushed(self):
+        buffer = DisseminationBuffer()
+        u = update(1, MemberStatus.SUSPECT)
+        buffer.push(u)
+        assert buffer.take() == (u,)
+
+    def test_retransmit_budget_exhausts(self):
+        buffer = DisseminationBuffer(retransmit_budget=3)
+        buffer.push(update(1, MemberStatus.SUSPECT))
+        for _ in range(3):
+            assert len(buffer.take()) == 1
+        assert buffer.take() == ()
+
+    def test_newer_update_replaces_queued(self):
+        buffer = DisseminationBuffer()
+        buffer.push(update(1, MemberStatus.SUSPECT, 0))
+        newer = update(1, MemberStatus.ALIVE, 1)
+        buffer.push(newer)
+        assert buffer.take() == (newer,)
+        assert len(buffer) == 1
+
+    def test_max_per_message(self):
+        buffer = DisseminationBuffer(max_per_message=2)
+        for member in range(5):
+            buffer.push(update(member, MemberStatus.ALIVE, 1))
+        assert len(buffer.take()) == 2
+
+    def test_least_transmitted_first(self):
+        buffer = DisseminationBuffer(max_per_message=1, retransmit_budget=10)
+        old = update(1, MemberStatus.SUSPECT)
+        buffer.push(old)
+        buffer.take()  # old now has 1 transmission
+        fresh = update(2, MemberStatus.SUSPECT)
+        buffer.push(fresh)
+        assert buffer.take() == (fresh,)
+
+    def test_invalid_budgets(self):
+        with pytest.raises(ValueError):
+            DisseminationBuffer(retransmit_budget=0)
+        with pytest.raises(ValueError):
+            DisseminationBuffer(max_per_message=0)
+
+
+class TestMessageSizes:
+    def test_sizes_scale_with_updates(self):
+        updates = (update(1, MemberStatus.ALIVE), update(2, MemberStatus.DEAD))
+        assert Ping(0, 1).wire_size() < Ping(0, 1, updates).wire_size()
+        assert Ack(0, 1, 0).wire_size() < Ack(0, 1, 0, updates).wire_size()
+        assert PingReq(0, 1, 2).wire_size() < PingReq(0, 1, 2, updates).wire_size()
+
+    def test_messages_are_small(self):
+        # The point of SWIM: constant, tiny messages.
+        assert Ping(0, 1).wire_size() < 100

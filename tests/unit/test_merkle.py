@@ -1,0 +1,88 @@
+"""Unit tests for Merkle trees."""
+
+import pytest
+
+from repro.crypto.merkle import (
+    EMPTY_ROOT,
+    MerkleProof,
+    MerkleTree,
+    merkle_root,
+    verify_proof,
+)
+
+
+class TestMerkleTree:
+    def test_empty_tree_root(self):
+        assert MerkleTree([]).root == EMPTY_ROOT
+
+    def test_single_leaf_proof(self):
+        tree = MerkleTree([b"only"])
+        assert verify_proof(tree.root, b"only", tree.prove(0))
+
+    def test_root_deterministic(self):
+        leaves = [b"a", b"b", b"c"]
+        assert MerkleTree(leaves).root == MerkleTree(leaves).root
+
+    def test_root_changes_with_leaf(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"a", b"c"]).root
+
+    def test_root_changes_with_order(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 7, 8, 16, 33])
+    def test_all_proofs_verify(self, count):
+        leaves = [f"leaf-{i}".encode() for i in range(count)]
+        tree = MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert verify_proof(tree.root, leaf, tree.prove(i))
+
+    def test_proof_for_wrong_leaf_fails(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        proof = tree.prove(1)
+        assert not verify_proof(tree.root, b"x", proof)
+
+    def test_proof_wrong_index_fails(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        proof = tree.prove(1)
+        shifted = MerkleProof(leaf_index=2, siblings=proof.siblings)
+        assert not verify_proof(tree.root, b"b", shifted)
+
+    def test_proof_against_other_root_fails(self):
+        tree_a = MerkleTree([b"a", b"b"])
+        tree_b = MerkleTree([b"c", b"d"])
+        assert not verify_proof(tree_b.root, b"a", tree_a.prove(0))
+
+    def test_prove_out_of_range(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(IndexError):
+            tree.prove(1)
+
+    def test_prove_empty_tree(self):
+        with pytest.raises(IndexError):
+            MerkleTree([]).prove(0)
+
+    def test_len(self):
+        assert len(MerkleTree([b"a", b"b", b"c"])) == 3
+
+    def test_merkle_root_helper(self):
+        leaves = [b"x", b"y"]
+        assert merkle_root(leaves) == MerkleTree(leaves).root
+
+    def test_duplicate_padding_no_forgery(self):
+        # [a, b, c] pads to [a, b, c, c]; the root of [a, b, c, c] as an
+        # explicit leaf list must EQUAL (padding semantics) but proofs
+        # remain sound for the original indices.
+        tree3 = MerkleTree([b"a", b"b", b"c"])
+        tree4 = MerkleTree([b"a", b"b", b"c", b"c"])
+        assert tree3.root == tree4.root
+        assert verify_proof(tree3.root, b"c", tree3.prove(2))
+
+    def test_leaf_interior_domain_separation(self):
+        # An interior digest presented as a leaf must not verify.
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        # Level-1 left node digest:
+        interior = tree._levels[1][0]
+        fake = MerkleProof(leaf_index=0, siblings=(tree._levels[1][1],))
+        assert not verify_proof(tree.root, interior, fake)

@@ -1,0 +1,97 @@
+"""Unit tests for metadata items."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.account import Account
+from repro.core.metadata import METADATA_WIRE_BYTES, MetadataItem, create_metadata
+
+
+@pytest.fixture
+def item(account):
+    return create_metadata(
+        account=account,
+        producer=3,
+        sequence=0,
+        created_at=100.0,
+        data_type="AirQuality/PM2.5",
+        location="NewYork,NY/40.72,-74.00",
+        valid_time_minutes=1440.0,
+    )
+
+
+class TestCreateMetadata:
+    def test_fields_populated(self, item, account):
+        assert item.producer == 3
+        assert item.producer_address == account.address
+        assert item.data_type == "AirQuality/PM2.5"
+        assert item.storing_nodes == ()
+
+    def test_data_id_unique_per_sequence(self, account):
+        a = create_metadata(account, 3, 0, 0.0)
+        b = create_metadata(account, 3, 1, 0.0)
+        assert a.data_id != b.data_id
+
+    def test_data_id_unique_per_producer(self):
+        acc_a = Account.for_node(0, 1)
+        acc_b = Account.for_node(0, 2)
+        a = create_metadata(acc_a, 1, 0, 0.0)
+        b = create_metadata(acc_b, 2, 0, 0.0)
+        assert a.data_id != b.data_id
+
+
+class TestSignature:
+    def test_fresh_item_verifies(self, item):
+        assert item.verify_signature()
+
+    def test_tampered_type_fails(self, item):
+        tampered = dataclasses.replace(item, data_type="Video/Fake")
+        assert not tampered.verify_signature()
+
+    def test_tampered_location_fails(self, item):
+        tampered = dataclasses.replace(item, location="Nowhere/0,0")
+        assert not tampered.verify_signature()
+
+    def test_tampered_size_fails(self, item):
+        tampered = dataclasses.replace(item, size_bytes=item.size_bytes + 1)
+        assert not tampered.verify_signature()
+
+    def test_garbage_signature_fails(self, item):
+        tampered = dataclasses.replace(item, signature_hex="00" * 64)
+        assert not tampered.verify_signature()
+
+    def test_garbage_public_key_fails(self, item):
+        tampered = dataclasses.replace(item, producer_public_key_hex="02" + "00" * 32)
+        assert not tampered.verify_signature()
+
+    def test_storing_nodes_not_signed(self, item):
+        # The miner adds the placement after signing; it must not break
+        # the producer's signature.
+        placed = item.with_storing_nodes((1, 2, 3))
+        assert placed.verify_signature()
+
+
+class TestLifecycle:
+    def test_expiry_time(self, item):
+        assert item.expires_at == pytest.approx(100.0 + 1440 * 60)
+
+    def test_is_expired(self, item):
+        assert not item.is_expired(item.expires_at - 1)
+        assert item.is_expired(item.expires_at)
+
+    def test_invalid_valid_time_rejected(self, account):
+        with pytest.raises(ValueError):
+            create_metadata(account, 1, 0, 0.0, valid_time_minutes=0.0)
+
+    def test_with_storing_nodes_sorts_and_dedups(self, item):
+        placed = item.with_storing_nodes((3, 1, 3, 2))
+        assert placed.storing_nodes == (1, 2, 3)
+
+    def test_wire_size_grows_with_placement(self, item):
+        assert item.wire_size() == METADATA_WIRE_BYTES
+        assert item.with_storing_nodes((1, 2)).wire_size() == METADATA_WIRE_BYTES + 8
+
+    def test_negative_created_at_rejected(self, account):
+        with pytest.raises(ValueError):
+            create_metadata(account, 1, 0, -1.0)

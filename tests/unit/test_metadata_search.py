@@ -1,0 +1,123 @@
+"""Unit tests for the on-chain metadata search (Section III-B)."""
+
+import pytest
+
+from repro.core.account import Account
+from repro.core.block import Block
+from repro.core.blockchain import Blockchain
+from repro.core.config import SystemConfig
+from repro.core.metadata import create_metadata
+from repro.core.pos import compute_hit, compute_pos_hash, mining_delay
+
+
+@pytest.fixture
+def chain_with_catalogue():
+    config = SystemConfig(expected_block_interval=10.0)
+    accounts = {i: Account.for_node(111, i) for i in range(3)}
+    address_of = {i: a.address for i, a in accounts.items()}
+    chain = Blockchain(list(range(3)), config, address_of)
+
+    items = [
+        create_metadata(
+            accounts[0], 0, 0, created_at=10.0,
+            data_type="AirQuality/PM2.5", location="NewYork,NY/40.72,-74.00",
+            valid_time_minutes=1.0,
+        ),
+        create_metadata(
+            accounts[1], 1, 0, created_at=20.0,
+            data_type="Picture/Traffic", location="Nassau,NY/40.78,-73.58",
+            valid_time_minutes=1000.0,
+        ),
+        create_metadata(
+            accounts[1], 1, 1, created_at=30.0,
+            data_type="AirQuality/Ozone", location="StonyBrook,NY/40.91,-73.12",
+            valid_time_minutes=1000.0,
+        ),
+    ]
+    parent = chain.tip
+    miner = 2
+    address = accounts[miner].address
+    hit = compute_hit(parent.pos_hash, address, config.hit_modulus)
+    amendment = chain.state.amendment(parent.timestamp)
+    delay = mining_delay(
+        hit, chain.state.tokens(miner),
+        chain.state.stored_items(miner, parent.timestamp), amendment,
+    )
+    chain.append_block(
+        Block(
+            index=1,
+            timestamp=parent.timestamp + delay,
+            previous_hash=parent.current_hash,
+            pos_hash=compute_pos_hash(parent.pos_hash, address),
+            miner=miner,
+            miner_address=address,
+            hit=hit,
+            target_b=amendment,
+            metadata_items=tuple(item.with_storing_nodes((0,)) for item in items),
+            storing_nodes=(miner,),
+        )
+    )
+    return chain, items
+
+
+class TestSearchMetadata:
+    def test_by_data_type_prefix(self, chain_with_catalogue):
+        chain, _ = chain_with_catalogue
+        hits = chain.search_metadata(data_type="AirQuality")
+        assert len(hits) == 2
+        assert all("AirQuality" in item.data_type for item in hits)
+
+    def test_case_insensitive(self, chain_with_catalogue):
+        chain, _ = chain_with_catalogue
+        assert len(chain.search_metadata(data_type="airquality")) == 2
+
+    def test_by_location(self, chain_with_catalogue):
+        chain, _ = chain_with_catalogue
+        hits = chain.search_metadata(location="Nassau")
+        assert len(hits) == 1
+        assert hits[0].data_type == "Picture/Traffic"
+
+    def test_by_producer(self, chain_with_catalogue):
+        chain, _ = chain_with_catalogue
+        assert len(chain.search_metadata(producer=1)) == 2
+        assert len(chain.search_metadata(producer=0)) == 1
+
+    def test_by_time_window(self, chain_with_catalogue):
+        chain, _ = chain_with_catalogue
+        hits = chain.search_metadata(created_after=15.0, created_before=25.0)
+        assert len(hits) == 1
+        assert hits[0].created_at == 20.0
+
+    def test_combined_filters(self, chain_with_catalogue):
+        chain, _ = chain_with_catalogue
+        hits = chain.search_metadata(data_type="AirQuality", producer=1)
+        assert len(hits) == 1
+        assert hits[0].data_type == "AirQuality/Ozone"
+
+    def test_excludes_expired(self, chain_with_catalogue):
+        chain, _ = chain_with_catalogue
+        # The PM2.5 item expires at 10 + 60 s = 70 s.
+        hits = chain.search_metadata(
+            data_type="AirQuality", include_expired=False, now=100.0
+        )
+        assert len(hits) == 1
+        assert hits[0].data_type == "AirQuality/Ozone"
+
+    def test_exclude_expired_requires_now(self, chain_with_catalogue):
+        chain, _ = chain_with_catalogue
+        with pytest.raises(ValueError):
+            chain.search_metadata(include_expired=False)
+
+    def test_sorted_newest_first(self, chain_with_catalogue):
+        chain, _ = chain_with_catalogue
+        hits = chain.search_metadata()
+        created = [item.created_at for item in hits]
+        assert created == sorted(created, reverse=True)
+
+    def test_no_filters_returns_all(self, chain_with_catalogue):
+        chain, _ = chain_with_catalogue
+        assert len(chain.search_metadata()) == 3
+
+    def test_no_match(self, chain_with_catalogue):
+        chain, _ = chain_with_catalogue
+        assert chain.search_metadata(data_type="Video") == []

@@ -1,0 +1,85 @@
+"""Unit tests for range-bounded mobility."""
+
+import math
+
+import pytest
+
+from repro.simnet.mobility import MobilityProfile, RangeBoundedMobility
+from repro.simnet.topology import Position, Topology
+
+
+class TestMobilityProfile:
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            MobilityProfile(home=Position(0, 0), wander_range=-1.0)
+
+    def test_zero_range_allowed(self):
+        MobilityProfile(home=Position(0, 0), wander_range=0.0)
+
+
+class TestRangeBoundedMobility:
+    def test_initial_positions_are_homes(self, rng):
+        homes = [Position(10, 10), Position(100, 100)]
+        mobility = RangeBoundedMobility.uniform(homes, rng, wander_range=30.0)
+        assert mobility.current_positions() == homes
+
+    def test_epoch_stays_within_range(self, rng):
+        homes = [Position(150, 150)] * 20
+        mobility = RangeBoundedMobility.uniform(homes, rng, wander_range=30.0)
+        for _ in range(10):
+            for home, pos in zip(homes, mobility.advance_epoch()):
+                assert home.distance_to(pos) <= 30.0 + 1e-9
+
+    def test_zero_range_never_moves(self, rng):
+        homes = [Position(50, 50)]
+        mobility = RangeBoundedMobility.uniform(homes, rng, wander_range=0.0)
+        assert mobility.advance_epoch() == homes
+
+    def test_positions_clipped_to_field(self, rng):
+        homes = [Position(0, 0), Position(300, 300)]
+        mobility = RangeBoundedMobility.uniform(
+            homes, rng, wander_range=30.0, field_size=300.0
+        )
+        for _ in range(20):
+            for pos in mobility.advance_epoch():
+                assert 0 <= pos.x <= 300 and 0 <= pos.y <= 300
+
+    def test_epoch_updates_topology(self, rng):
+        homes = [Position(0, 0), Position(60, 0)]
+        mobility = RangeBoundedMobility.uniform(homes, rng, wander_range=10.0)
+        topo = Topology(homes, comm_range=70.0)
+        mobility.advance_epoch(topo)
+        # Positions moved at most 10 m each; distance stays within 80 m but
+        # the topology object must reflect the new coordinates.
+        assert topo.positions == mobility.current_positions()
+
+    def test_wander_range_accessor(self, rng):
+        mobility = RangeBoundedMobility(
+            [
+                MobilityProfile(Position(0, 0), 5.0),
+                MobilityProfile(Position(1, 1), 25.0),
+            ],
+            rng,
+        )
+        assert mobility.wander_range(0) == 5.0
+        assert mobility.wander_range(1) == 25.0
+
+    def test_relocate_home(self, rng):
+        mobility = RangeBoundedMobility.uniform([Position(0, 0)], rng, wander_range=30.0)
+        mobility.relocate_home(0, Position(200, 200), new_range=10.0)
+        assert mobility.profile(0).home == Position(200, 200)
+        assert mobility.wander_range(0) == 10.0
+        assert mobility.current_positions()[0] == Position(200, 200)
+
+    def test_node_count(self, rng):
+        mobility = RangeBoundedMobility.uniform([Position(0, 0)] * 7, rng)
+        assert mobility.node_count == 7
+
+    def test_epoch_distribution_covers_disk(self, rng):
+        # Over many epochs a node should visit all quadrants of its disk.
+        mobility = RangeBoundedMobility.uniform([Position(150, 150)], rng, wander_range=30.0)
+        quadrants = set()
+        for _ in range(200):
+            pos = mobility.advance_epoch()[0]
+            quadrants.add((pos.x >= 150, pos.y >= 150))
+        assert len(quadrants) == 4

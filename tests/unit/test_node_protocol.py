@@ -1,0 +1,187 @@
+"""Surgical unit tests for EdgeNode protocol branches.
+
+The end-to-end tests cover the happy paths; these tests drive the specific
+branches — fork detection on announce, buffer-drain escalation, response
+timeouts, dissemination NACK behaviour — with hand-built inputs.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.blockchain import BlockOutcome
+from repro.core.config import SystemConfig
+from repro.core.messages import (
+    BlockRequest,
+    BlockResponse,
+    ChainRequest,
+    ChainResponse,
+    DataNack,
+    DataRequest,
+    DisseminationRequest,
+)
+from repro.sim.cluster import build_cluster
+
+
+@pytest.fixture
+def world(fast_config):
+    cluster = build_cluster(6, fast_config, seed=51)
+    cluster.start()
+    return cluster
+
+
+def run_to_height(cluster, height):
+    deadline = cluster.engine.now + height * cluster.config.expected_block_interval * 20
+    while cluster.engine.now < deadline:
+        cluster.engine.run_until(
+            cluster.engine.now + cluster.config.expected_block_interval
+        )
+        if cluster.longest_chain_node().chain.height >= height:
+            return
+    raise AssertionError("chain stalled")
+
+
+class TestForkHandling:
+    def test_fork_announce_triggers_chain_request(self, world):
+        """A block at height+1 with a foreign parent hash must trigger a
+        ChainRequest to the sender, not a validation-error rejection."""
+        run_to_height(world, 2)
+        world.engine.run_until(world.engine.now + 5.0)
+        node = world.nodes[0]
+        tip = node.chain.tip
+        fake = dataclasses.replace(
+            tip,
+            index=tip.index + 1,
+            previous_hash="ff" * 32,
+            current_hash="",
+        )
+        sync_before = world.network.trace.category_bytes("chain_sync")
+        node._on_block_announce(source=1, block=fake)
+        assert world.network.trace.category_bytes("chain_sync") > sync_before
+        # Tip unchanged (the fake never validated).
+        assert node.chain.tip.current_hash == tip.current_hash
+
+    def test_stale_block_ignored_quietly(self, world):
+        run_to_height(world, 3)
+        world.engine.run_until(world.engine.now + 5.0)
+        node = world.nodes[0]
+        old = node.chain.blocks[1]
+        competitor = dataclasses.replace(old, timestamp=old.timestamp + 0.5, current_hash="")
+        rejected_before = node.counters.blocks_rejected
+        node._on_block_announce(source=1, block=competitor)
+        assert node.counters.blocks_rejected == rejected_before
+        assert node.chain.blocks[1].current_hash == old.current_hash
+
+
+class TestBlockRequestServing:
+    def test_serves_stored_blocks(self, world):
+        run_to_height(world, 2)
+        world.engine.run_until(world.engine.now + 5.0)
+        server = world.nodes[1]
+        held = sorted(server.storage.stored_block_indices())
+        assert held, "every node at least holds the last block"
+        request = BlockRequest(indices=(held[-1],), origin=0)
+        bytes_before = world.network.trace.category_bytes("block_recovery")
+        server._on_block_request(source=0, request=request)
+        assert world.network.trace.category_bytes("block_recovery") > bytes_before
+
+    def test_forwards_unheld_blocks_with_ttl(self, world):
+        run_to_height(world, 4)
+        world.engine.run_until(world.engine.now + 5.0)
+        server = world.nodes[1]
+        # Find an index the server does NOT hold but the chain records.
+        missing = [
+            index
+            for index in range(1, server.chain.height)
+            if server.storage.get_block(index) is None
+        ]
+        if not missing:
+            pytest.skip("server happens to hold every block at this seed")
+        request = BlockRequest(indices=(missing[0],), origin=0, ttl=2)
+        sent_before = world.network.messages_sent
+        server._on_block_request(source=0, request=request)
+        assert world.network.messages_sent > sent_before  # forwarded
+
+    def test_ttl_zero_stops_forwarding(self, world):
+        run_to_height(world, 4)
+        world.engine.run_until(world.engine.now + 5.0)
+        server = world.nodes[1]
+        missing = [
+            index
+            for index in range(1, server.chain.height)
+            if server.storage.get_block(index) is None
+        ]
+        if not missing:
+            pytest.skip("server holds everything")
+        request = BlockRequest(indices=(missing[0],), origin=0, ttl=0)
+        sent_before = world.network.messages_sent
+        server._on_block_request(source=0, request=request)
+        assert world.network.messages_sent == sent_before
+
+
+class TestResponseTimeout:
+    def test_timeout_claims_and_fails_over(self, world, account):
+        run_to_height(world, 2)
+        world.engine.run_until(world.engine.now + 10.0)
+        # Publish from node 0, then request from node 5 but have the serving
+        # candidate never answer (we intercept by taking it offline right
+        # after the send — the message is dropped, so no response arrives).
+        producer = world.nodes[0]
+        item = producer.produce_data()
+        run_to_height(world, world.longest_chain_node().chain.height + 2)
+        world.engine.run_until(world.engine.now + 15.0)
+        requester = world.nodes[5]
+        request_id = requester.request_data(item.data_id)
+        if request_id is None:
+            pytest.skip("request resolved locally at this seed")
+        pending = requester._pending[request_id]
+        target = pending.current_target
+        # Drop the in-flight exchange: target goes offline before replying.
+        world.network.set_online(target, False)
+        world.engine.run_until(world.engine.now + 60.0)
+        world.network.set_online(target, True)
+        world.engine.run_until(world.engine.now + 120.0)
+        # The requester either got the data from another replica or failed
+        # cleanly — no stuck pending state either way.
+        assert request_id not in requester._pending
+        served = requester.counters.data_requests_served
+        failed = requester.counters.data_requests_failed
+        assert served + failed >= 1
+
+
+class TestDisseminationEdgeCases:
+    def test_nack_for_unknown_data(self, world):
+        node = world.nodes[2]
+        nacks_before = node.counters.data_nacks_sent
+        node._on_data_request(
+            source=0, request=DataRequest(data_id="ghost", requester=0, request_id=7)
+        )
+        assert node.counters.data_nacks_sent == nacks_before + 1
+
+    def test_dissemination_request_for_unknown_data_ignored(self, world):
+        node = world.nodes[2]
+        sent_before = world.network.messages_sent
+        node._on_dissemination_request(
+            DisseminationRequest(data_id="ghost", requester=0)
+        )
+        assert world.network.messages_sent == sent_before
+
+    def test_chain_request_served_with_full_chain(self, world):
+        run_to_height(world, 2)
+        node = world.nodes[3]
+        bytes_before = world.network.trace.category_bytes("chain_sync")
+        node._on_chain_request(ChainRequest(origin=0))
+        assert world.network.trace.category_bytes("chain_sync") > bytes_before
+
+    def test_unsolicited_nack_ignored(self, world):
+        node = world.nodes[2]
+        node._on_data_nack(source=1, nack=DataNack(data_id="x", request_id=999))
+        assert node.counters.claims_broadcast == 0
+
+    def test_stale_block_response_discarded(self, world):
+        run_to_height(world, 3)
+        world.engine.run_until(world.engine.now + 5.0)
+        node = world.nodes[4]
+        stale = BlockResponse(blocks=(node.chain.blocks[1],))
+        node._on_block_response(stale)
+        assert not node.sync.buffered

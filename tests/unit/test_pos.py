@@ -1,0 +1,193 @@
+"""Unit tests for the PoS mechanism (Eqs. 7–9, 14)."""
+
+import math
+
+import pytest
+
+from repro.core.pos import (
+    MiningClaim,
+    compute_amendment,
+    compute_hit,
+    compute_pos_hash,
+    mining_delay,
+    per_second_mining_loop,
+    satisfies_target,
+    target_value,
+)
+
+M = 2**64
+
+
+class TestPosHash:
+    def test_deterministic(self):
+        assert compute_pos_hash("ab", "addr") == compute_pos_hash("ab", "addr")
+
+    def test_varies_with_account(self):
+        assert compute_pos_hash("ab", "addr1") != compute_pos_hash("ab", "addr2")
+
+    def test_varies_with_previous(self):
+        assert compute_pos_hash("ab", "addr") != compute_pos_hash("cd", "addr")
+
+    def test_chains_forward(self):
+        h1 = compute_pos_hash("genesis", "a")
+        h2 = compute_pos_hash(h1, "a")
+        assert h1 != h2
+
+
+class TestHit:
+    def test_in_range(self):
+        for account in ("a", "b", "c", "d"):
+            hit = compute_hit("prev", account, M)
+            assert 0 <= hit < M
+
+    def test_deterministic_and_verifiable(self):
+        # "Each node can also validate the hit of other nodes" (Section V-A).
+        assert compute_hit("prev", "acct", M) == compute_hit("prev", "acct", M)
+
+    def test_unique_per_account(self):
+        hits = {compute_hit("prev", f"acct-{i}", M) for i in range(50)}
+        assert len(hits) == 50
+
+    def test_modulus_applied(self):
+        small = compute_hit("prev", "acct", 10)
+        assert 0 <= small < 10
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            compute_hit("prev", "acct", 1)
+
+    def test_roughly_uniform(self):
+        # Mean of many hits should be near M/2 (within 10 %).
+        hits = [compute_hit("prev", f"n{i}", M) for i in range(500)]
+        mean = sum(hits) / len(hits)
+        assert abs(mean - M / 2) < 0.1 * M
+
+
+class TestAmendment:
+    def test_paper_formula(self):
+        # B = M / ((n+1) · t0 · Ū)
+        assert compute_amendment(M, 10, 60.0, 2.0) == pytest.approx(
+            M / (11 * 60.0 * 2.0)
+        )
+
+    def test_decreases_with_stake_growth(self):
+        assert compute_amendment(M, 10, 60.0, 10.0) < compute_amendment(M, 10, 60.0, 1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            compute_amendment(M, 0, 60.0, 1.0)
+        with pytest.raises(ValueError):
+            compute_amendment(M, 10, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            compute_amendment(M, 10, 60.0, 0.0)
+
+
+class TestTarget:
+    def test_grows_linearly_with_time(self):
+        assert target_value(2.0, 3.0, 10.0, 5.0) == pytest.approx(300.0)
+        assert target_value(2.0, 3.0, 20.0, 5.0) == pytest.approx(600.0)
+
+    def test_contribution_advantage(self):
+        # More tokens or more stored data → higher target (Section V-A).
+        base = target_value(1.0, 1.0, 10.0, 5.0)
+        assert target_value(2.0, 1.0, 10.0, 5.0) > base
+        assert target_value(1.0, 2.0, 10.0, 5.0) > base
+
+    def test_satisfies_boundary(self):
+        assert satisfies_target(100, 1.0, 1.0, 100.0, 1.0)
+        assert not satisfies_target(101, 1.0, 1.0, 100.0, 1.0)
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            target_value(1.0, 1.0, -1.0, 1.0)
+
+
+class TestMiningDelay:
+    def test_closed_form_matches_loop(self):
+        for hit in (0, 1, 57, 1000, 99999):
+            for rate_args in ((1.0, 3.0, 7.0), (2.0, 2.0, 11.0)):
+                delay = mining_delay(hit, *rate_args)
+                loop = list(per_second_mining_loop(hit, *rate_args))
+                assert loop[-1][2] is True
+                assert loop[-1][0] == delay
+
+    def test_minimum_one_second(self):
+        assert mining_delay(0, 100.0, 100.0, 100.0) == 1
+
+    def test_zero_rate_never_mines(self):
+        assert mining_delay(10, 0.0, 1.0, 1.0) is None
+
+    def test_higher_contribution_mines_no_later(self):
+        for hit in (123456, 10**12):
+            low = mining_delay(hit, 1.0, 1.0, 1.0)
+            high = mining_delay(hit, 5.0, 3.0, 1.0)
+            assert high <= low
+
+    def test_loop_yields_every_second(self):
+        ticks = list(per_second_mining_loop(10, 1.0, 1.0, 2.0))
+        assert [t for t, _, _ in ticks] == list(range(1, len(ticks) + 1))
+
+    def test_loop_respects_max_seconds(self):
+        ticks = list(per_second_mining_loop(10**18, 1.0, 1.0, 1e-6, max_seconds=5))
+        assert len(ticks) == 5
+        assert not ticks[-1][2]
+
+
+class TestMiningClaim:
+    def test_valid_claim(self):
+        hit = compute_hit("prev", "acct", M)
+        claim = MiningClaim(
+            miner_address="acct",
+            hit=hit,
+            stake=1.0,
+            stored=1.0,
+            elapsed=float(hit + 1),
+            amendment=1.0,
+        )
+        assert claim.is_valid("prev", M)
+
+    def test_forged_hit_rejected(self):
+        # "a node cannot fake a hit to get unfair advantages" (Section V-A).
+        claim = MiningClaim(
+            miner_address="acct",
+            hit=0,  # claims the best possible hit
+            stake=1.0,
+            stored=1.0,
+            elapsed=1.0,
+            amendment=1.0,
+        )
+        if compute_hit("prev", "acct", M) != 0:
+            assert not claim.is_valid("prev", M)
+
+    def test_unsatisfied_target_rejected(self):
+        hit = compute_hit("prev", "acct", M)
+        claim = MiningClaim(
+            miner_address="acct",
+            hit=hit,
+            stake=1.0,
+            stored=1.0,
+            elapsed=0.0,  # R = 0 < h
+            amendment=1.0,
+        )
+        if hit > 0:
+            assert not claim.is_valid("prev", M)
+
+
+class TestExpectedInterval:
+    def test_mean_min_delay_near_t0(self):
+        """Monte-Carlo check of Section V-B: E[min_i t_i] ≈ t0.
+
+        With n equal-stake nodes, B from Eq. 14 makes the minimum mining
+        delay average t0 (the race winner's time).
+        """
+        n, t0 = 20, 60.0
+        b = compute_amendment(M, n, t0, 1.0)
+        intervals = []
+        for round_index in range(300):
+            delays = [
+                mining_delay(compute_hit(f"prev-{round_index}", f"acct-{i}", M), 1.0, 1.0, b)
+                for i in range(n)
+            ]
+            intervals.append(min(delays))
+        mean = sum(intervals) / len(intervals)
+        assert mean == pytest.approx(t0, rel=0.15)

@@ -1,0 +1,109 @@
+"""Unit tests for the PoW baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pow import (
+    PAPER_HASH_RATE,
+    PAPER_POW_DIFFICULTY,
+    PowMiner,
+    expected_attempts,
+    find_pow_nonce,
+    hash_meets_difficulty,
+)
+from repro.energy.meter import EnergyMeter
+
+
+class TestDifficulty:
+    def test_expected_attempts(self):
+        assert expected_attempts(0) == 1
+        assert expected_attempts(1) == 16
+        assert expected_attempts(4) == 65536
+
+    def test_paper_difficulty_constant(self):
+        assert PAPER_POW_DIFFICULTY == 4
+
+    def test_paper_hash_rate_gives_25s_blocks(self):
+        assert expected_attempts(4) / PAPER_HASH_RATE == pytest.approx(25.0)
+
+    def test_negative_difficulty_rejected(self):
+        with pytest.raises(ValueError):
+            expected_attempts(-1)
+
+    def test_hash_meets_difficulty(self):
+        assert hash_meets_difficulty("000abc", 3)
+        assert not hash_meets_difficulty("00abc0", 3)
+        assert hash_meets_difficulty("anything", 0)
+
+
+class TestRealBruteForce:
+    def test_finds_valid_nonce(self):
+        nonce, attempts = find_pow_nonce("payload", difficulty=2)
+        assert attempts == nonce + 1
+        from repro.crypto.hashing import hash_items_hex
+
+        assert hash_items_hex("pow", "payload", nonce).startswith("00")
+
+    def test_attempts_scale_with_difficulty(self):
+        # Average over a few payloads: difficulty 2 needs ~16x difficulty 1.
+        attempts_d1 = sum(
+            find_pow_nonce(f"p{i}", 1)[1] for i in range(10)
+        )
+        attempts_d2 = sum(
+            find_pow_nonce(f"p{i}", 2)[1] for i in range(10)
+        )
+        assert attempts_d2 > attempts_d1
+
+    def test_max_attempts_enforced(self):
+        with pytest.raises(RuntimeError):
+            find_pow_nonce("payload", difficulty=8, max_attempts=10)
+
+
+class TestPowMiner:
+    def test_sampled_attempts_near_expectation(self, rng):
+        miner = PowMiner(EnergyMeter(), difficulty=4)
+        results = [miner.mine_block(rng) for _ in range(300)]
+        mean_attempts = np.mean([r.attempts for r in results])
+        assert mean_attempts == pytest.approx(65536, rel=0.15)
+
+    def test_duration_follows_hash_rate(self, rng):
+        miner = PowMiner(EnergyMeter(), difficulty=2, hash_rate=100.0)
+        result = miner.mine_block(rng)
+        assert result.duration_seconds == pytest.approx(result.attempts / 100.0)
+
+    def test_energy_drains_battery(self, rng):
+        meter = EnergyMeter()
+        miner = PowMiner(meter, difficulty=4)
+        before = meter.remaining_percent
+        miner.mine_block(rng)
+        assert meter.remaining_percent < before
+
+    def test_mine_until_depleted_stops(self, rng):
+        meter = EnergyMeter()
+        miner = PowMiner(meter, difficulty=4)
+        results = miner.mine_until_depleted(rng)
+        assert meter.depleted
+        assert results[-1].battery_remaining_percent == pytest.approx(0.0, abs=0.5)
+        assert miner.blocks_mined == len(results)
+
+    def test_battery_percent_monotone(self, rng):
+        miner = PowMiner(EnergyMeter(), difficulty=4)
+        results = [miner.mine_block(rng) for _ in range(20)]
+        percents = [r.battery_remaining_percent for r in results]
+        assert percents == sorted(percents, reverse=True)
+
+    def test_paper_blocks_per_percent(self, rng):
+        # ~4 blocks per 1 % of battery at difficulty 4 (Fig. 6).
+        meter = EnergyMeter()
+        miner = PowMiner(meter, difficulty=4)
+        results = []
+        while meter.remaining_percent > 90.0:
+            results.append(miner.mine_block(rng))
+        blocks_per_percent = len(results) / (100.0 - meter.remaining_percent)
+        assert blocks_per_percent == pytest.approx(4.0, rel=0.2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PowMiner(EnergyMeter(), difficulty=-1)
+        with pytest.raises(ValueError):
+            PowMiner(EnergyMeter(), hash_rate=0.0)

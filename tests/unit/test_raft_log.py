@@ -1,0 +1,96 @@
+"""Unit tests for the Raft log."""
+
+import pytest
+
+from repro.raft.log import RaftLog
+from repro.raft.messages import LogEntry
+
+
+def entries(*terms):
+    return [LogEntry(term=t, command=f"cmd-{i}") for i, t in enumerate(terms)]
+
+
+class TestRaftLog:
+    def test_empty_log(self):
+        log = RaftLog()
+        assert log.last_index == 0
+        assert log.last_term == 0
+        assert len(log) == 0
+
+    def test_append_returns_index(self):
+        log = RaftLog()
+        assert log.append(LogEntry(1, "a")) == 1
+        assert log.append(LogEntry(1, "b")) == 2
+
+    def test_term_at_sentinel(self):
+        assert RaftLog().term_at(0) == 0
+
+    def test_term_at_out_of_range(self):
+        with pytest.raises(IndexError):
+            RaftLog().term_at(1)
+
+    def test_entry_at(self):
+        log = RaftLog()
+        log.append(LogEntry(3, "x"))
+        assert log.entry_at(1).command == "x"
+
+    def test_entries_from(self):
+        log = RaftLog()
+        for e in entries(1, 1, 2):
+            log.append(e)
+        assert len(log.entries_from(2)) == 2
+        assert log.entries_from(4) == ()
+
+    def test_entries_from_invalid(self):
+        with pytest.raises(IndexError):
+            RaftLog().entries_from(0)
+
+    def test_matches_empty_prefix(self):
+        assert RaftLog().matches(0, 0)
+
+    def test_matches_checks_term(self):
+        log = RaftLog()
+        log.append(LogEntry(2, "a"))
+        assert log.matches(1, 2)
+        assert not log.matches(1, 3)
+        assert not log.matches(2, 2)
+
+    def test_overwrite_appends(self):
+        log = RaftLog()
+        log.overwrite_from(1, entries(1, 1))
+        assert log.last_index == 2
+
+    def test_overwrite_keeps_agreeing_prefix(self):
+        log = RaftLog()
+        log.append(LogEntry(1, "original"))
+        log.overwrite_from(1, [LogEntry(1, "leader-copy")])
+        # Same index+term → keep ours (Raft never rewrites agreeing entries).
+        assert log.entry_at(1).command == "original"
+
+    def test_overwrite_truncates_conflict(self):
+        log = RaftLog()
+        for e in entries(1, 1, 1):
+            log.append(e)
+        log.overwrite_from(2, [LogEntry(2, "new")])
+        assert log.last_index == 2
+        assert log.entry_at(2).term == 2
+
+    def test_commands(self):
+        log = RaftLog()
+        log.append(LogEntry(1, "a"))
+        log.append(LogEntry(1, "b"))
+        assert log.commands() == ["a", "b"]
+        assert log.commands(1) == ["a"]
+
+    def test_up_to_date_comparison(self):
+        log = RaftLog()
+        log.append(LogEntry(2, "a"))
+        # Higher term wins regardless of length.
+        assert log.is_at_least_as_up_to_date(0, 3)
+        # Same term: longer or equal index wins.
+        assert log.is_at_least_as_up_to_date(1, 2)
+        assert log.is_at_least_as_up_to_date(2, 2)
+        # Lower term loses.
+        assert not log.is_at_least_as_up_to_date(10, 1)
+        # Same term, shorter log loses.
+        assert not log.is_at_least_as_up_to_date(0, 2)

@@ -1,0 +1,201 @@
+"""Unit tests for Raft node behaviour on a tiny fully-connected network."""
+
+import pytest
+
+from repro.raft.cluster import RaftCluster
+from repro.raft.messages import RAFT_CATEGORY, AppendEntries, RequestVote
+from repro.raft.node import RaftNode, Role
+from repro.simnet.channel import ChannelModel
+from repro.simnet.engine import EventEngine
+from repro.simnet.topology import Position, Topology
+from repro.simnet.transport import Network
+
+
+def make_cluster(size=3, seed=0):
+    engine = EventEngine(seed=seed)
+    # A tight cluster: all nodes in radio range of each other.
+    positions = [Position(10.0 * i, 0.0) for i in range(size)]
+    topology = Topology(positions, comm_range=200.0)
+    network = Network(engine, topology, ChannelModel(bandwidth=None))
+    cluster = RaftCluster(list(range(size)), network, engine)
+    return engine, network, cluster
+
+
+class TestElection:
+    def test_exactly_one_leader_emerges(self):
+        engine, _, cluster = make_cluster()
+        cluster.start()
+        leader = cluster.wait_for_leader()
+        leaders = [n for n in cluster.nodes.values() if n.is_leader]
+        assert len(leaders) == 1
+        assert leaders[0] is leader
+
+    def test_followers_learn_leader_id(self):
+        engine, _, cluster = make_cluster()
+        cluster.start()
+        leader = cluster.wait_for_leader()
+        engine.run_until(engine.now + 1.0)
+        for node in cluster.nodes.values():
+            assert node.leader_id == leader.node_id
+
+    def test_single_node_cluster_self_elects(self):
+        engine, network, _ = make_cluster(size=2)
+        solo = RaftNode(node_id=5, peers=[], network=network, engine=engine)
+        solo.start()
+        engine.run_until(engine.now + 2.0)
+        assert solo.is_leader
+
+    def test_peers_cannot_include_self(self):
+        engine, network, _ = make_cluster()
+        with pytest.raises(ValueError):
+            RaftNode(node_id=0, peers=[0, 1], network=network, engine=engine)
+
+
+class TestReplication:
+    def test_command_committed_everywhere(self):
+        engine, _, cluster = make_cluster()
+        cluster.start()
+        index = cluster.submit_via_leader("set x=1")
+        cluster.wait_for_commit(index)
+        engine.run_until(engine.now + 1.0)
+        for node in cluster.nodes.values():
+            assert node.committed_commands() == ["set x=1"]
+
+    def test_commands_apply_in_order(self):
+        engine, _, cluster = make_cluster()
+        cluster.start()
+        for i in range(5):
+            index = cluster.submit_via_leader(f"cmd-{i}")
+        cluster.wait_for_commit(index)
+        engine.run_until(engine.now + 1.0)
+        for node_id in cluster.nodes:
+            assert cluster.applied_commands(node_id) == [f"cmd-{i}" for i in range(5)]
+
+    def test_follower_submit_returns_none(self):
+        engine, _, cluster = make_cluster()
+        cluster.start()
+        leader = cluster.wait_for_leader()
+        follower = next(
+            n for n in cluster.nodes.values() if n.node_id != leader.node_id
+        )
+        assert follower.submit("nope") is None
+
+    def test_logs_consistent_property(self):
+        engine, _, cluster = make_cluster(size=5)
+        cluster.start()
+        for i in range(3):
+            index = cluster.submit_via_leader(i)
+        cluster.wait_for_commit(index)
+        assert cluster.logs_consistent()
+
+
+class TestFailover:
+    def test_new_leader_after_crash(self):
+        engine, _, cluster = make_cluster(size=5)
+        cluster.start()
+        first = cluster.wait_for_leader()
+        index = cluster.submit_via_leader("before-crash")
+        cluster.wait_for_commit(index)
+        cluster.crash(first.node_id)
+        second = cluster.wait_for_leader(timeout=30)
+        assert second.node_id != first.node_id
+        assert second.current_term > first.current_term or second.current_term >= 1
+
+    def test_committed_entries_survive_failover(self):
+        engine, _, cluster = make_cluster(size=5)
+        cluster.start()
+        first = cluster.wait_for_leader()
+        index = cluster.submit_via_leader("durable")
+        cluster.wait_for_commit(index)
+        cluster.crash(first.node_id)
+        second = cluster.wait_for_leader(timeout=30)
+        index2 = second.submit("after")
+        cluster.wait_for_commit(index2, timeout=30)
+        assert "durable" in second.committed_commands()
+        assert cluster.logs_consistent()
+
+    def test_minority_cannot_commit(self):
+        engine, network, cluster = make_cluster(size=3)
+        cluster.start()
+        leader = cluster.wait_for_leader()
+        # Crash both followers: leader retains leadership but cannot commit.
+        for node in list(cluster.nodes.values()):
+            if node.node_id != leader.node_id:
+                cluster.crash(node.node_id)
+        before = leader.commit_index
+        leader.submit("unreachable majority")
+        engine.run_until(engine.now + 3.0)
+        assert leader.commit_index == before
+
+
+class TestTermSafety:
+    def test_stale_term_message_demotes_nobody(self):
+        engine, network, cluster = make_cluster()
+        cluster.start()
+        leader = cluster.wait_for_leader()
+        term = leader.current_term
+        # Deliver a stale AppendEntries directly.
+        stale = AppendEntries(
+            term=0,
+            leader_id=99,
+            prev_log_index=0,
+            prev_log_term=0,
+            entries=(),
+            leader_commit=0,
+        )
+        leader._on_message(99, stale, RAFT_CATEGORY)
+        assert leader.is_leader
+        assert leader.current_term == term
+
+    def test_higher_term_request_vote_demotes_leader(self):
+        engine, _, cluster = make_cluster()
+        cluster.start()
+        leader = cluster.wait_for_leader()
+        vote = RequestVote(
+            term=leader.current_term + 10,
+            candidate_id=1 if leader.node_id != 1 else 2,
+            last_log_index=100,
+            last_log_term=100,
+        )
+        leader._on_message(vote.candidate_id, vote, RAFT_CATEGORY)
+        assert leader.role is Role.FOLLOWER
+        assert leader.current_term == vote.term
+
+    def test_vote_granted_once_per_term(self):
+        engine, network, cluster = make_cluster()
+        cluster.start()
+        engine.run_until(0.05)  # before any election timeout
+        node = cluster.nodes[0]
+        term = node.current_term + 1
+        vote_a = RequestVote(term=term, candidate_id=1, last_log_index=0, last_log_term=0)
+        vote_b = RequestVote(term=term, candidate_id=2, last_log_index=0, last_log_term=0)
+        node._on_message(1, vote_a, RAFT_CATEGORY)
+        assert node.voted_for == 1
+        node._on_message(2, vote_b, RAFT_CATEGORY)
+        assert node.voted_for == 1  # second candidate denied
+
+    def test_outdated_log_denied_vote(self):
+        engine, _, cluster = make_cluster()
+        cluster.start()
+        index = cluster.submit_via_leader("entry")
+        cluster.wait_for_commit(index)
+        engine.run_until(engine.now + 1.0)
+        node = cluster.nodes[0]
+        # Candidate with an empty log in a future term must be denied.
+        vote = RequestVote(
+            term=node.current_term + 1, candidate_id=1, last_log_index=0, last_log_term=0
+        )
+        node._on_message(1, vote, RAFT_CATEGORY)
+        assert node.voted_for != 1 or node.log.last_index == 0
+
+
+class TestHeartbeatOverhead:
+    def test_heartbeats_generate_traffic(self):
+        engine, network, cluster = make_cluster()
+        cluster.start()
+        cluster.wait_for_leader()
+        before = network.trace.category_bytes(RAFT_CATEGORY)
+        engine.run_until(engine.now + 5.0)
+        after = network.trace.category_bytes(RAFT_CATEGORY)
+        # The paper's complaint: a steady stream of heartbeats even when idle.
+        assert after > before

@@ -1,0 +1,150 @@
+"""Tests for Raft log compaction and InstallSnapshot (§7)."""
+
+import pytest
+
+from repro.raft.cluster import RaftCluster
+from repro.raft.log import RaftLog
+from repro.raft.messages import LogEntry
+from repro.raft.node import RaftNode
+from repro.simnet.channel import ChannelModel
+from repro.simnet.engine import EventEngine
+from repro.simnet.topology import Position, Topology
+from repro.simnet.transport import Network
+
+
+def filled_log(terms):
+    log = RaftLog()
+    for i, term in enumerate(terms):
+        log.append(LogEntry(term, f"cmd-{i + 1}"))
+    return log
+
+
+class TestLogCompaction:
+    def test_compact_preserves_indices(self):
+        log = filled_log([1, 1, 2, 2, 3])
+        log.compact_to(3)
+        assert log.snapshot_index == 3
+        assert log.snapshot_term == 2
+        assert log.last_index == 5
+        assert log.entry_at(4).command == "cmd-4"
+
+    def test_compacted_entries_unavailable(self):
+        log = filled_log([1, 1, 2])
+        log.compact_to(2)
+        with pytest.raises(IndexError):
+            log.entry_at(1)
+        with pytest.raises(IndexError):
+            log.entries_from(1)
+
+    def test_term_at_snapshot_boundary(self):
+        log = filled_log([1, 2, 3])
+        log.compact_to(2)
+        assert log.term_at(2) == 2  # the snapshot term
+        assert log.term_at(3) == 3
+
+    def test_matches_at_snapshot_boundary(self):
+        log = filled_log([1, 2, 3])
+        log.compact_to(2)
+        assert log.matches(2, 2)
+        assert not log.matches(1, 1)  # compacted away
+
+    def test_append_after_compaction(self):
+        log = filled_log([1, 1])
+        log.compact_to(2)
+        assert log.append(LogEntry(2, "new")) == 3
+        assert log.last_index == 3
+
+    def test_compact_beyond_last_rejected(self):
+        log = filled_log([1])
+        with pytest.raises(IndexError):
+            log.compact_to(5)
+
+    def test_double_compaction_is_monotone(self):
+        log = filled_log([1, 1, 1, 1])
+        log.compact_to(3)
+        log.compact_to(2)  # no-op (already compacted past)
+        assert log.snapshot_index == 3
+
+    def test_overwrite_skips_snapshot_covered(self):
+        log = filled_log([1, 1, 1])
+        log.compact_to(2)
+        log.overwrite_from(1, [LogEntry(1, "a"), LogEntry(1, "b"), LogEntry(2, "c")])
+        assert log.last_index == 3
+        assert log.entry_at(3).term == 2
+
+    def test_install_snapshot_resets_log(self):
+        log = filled_log([1, 1])
+        log.install_snapshot(10, 4)
+        assert log.snapshot_index == 10
+        assert log.last_index == 10
+        assert log.last_term == 4
+        assert len(log) == 0
+
+    def test_install_snapshot_keeps_matching_suffix(self):
+        log = filled_log([1, 1, 2, 2])
+        log.install_snapshot(2, 1)
+        assert log.snapshot_index == 2
+        assert log.last_index == 4  # suffix retained
+        assert log.entry_at(3).term == 2
+
+
+class TestSnapshotOverNetwork:
+    def make_cluster(self, threshold=5):
+        engine = EventEngine(seed=13)
+        positions = [Position(10.0 * i, 0.0) for i in range(3)]
+        network = Network(engine, Topology(positions, comm_range=100.0),
+                          ChannelModel(bandwidth=None))
+        nodes = {}
+        for node_id in range(3):
+            nodes[node_id] = RaftNode(
+                node_id=node_id,
+                peers=[p for p in range(3) if p != node_id],
+                network=network,
+                engine=engine,
+                compaction_threshold=threshold,
+            )
+        return engine, network, nodes
+
+    def test_leader_compacts_automatically(self):
+        engine, _, nodes = self.make_cluster(threshold=5)
+        for node in nodes.values():
+            node.start()
+        # Elect and replicate more entries than the threshold.
+        deadline = engine.now + 30.0
+        leader = None
+        while engine.now < deadline and leader is None:
+            engine.run_until(engine.now + 0.5)
+            leader = next((n for n in nodes.values() if n.is_leader), None)
+        assert leader is not None
+        for i in range(12):
+            leader.submit(f"cmd-{i}")
+            engine.run_until(engine.now + 0.5)
+        engine.run_until(engine.now + 3.0)
+        assert leader.log.snapshot_index > 0
+        assert len(leader.log) <= 12
+
+    def test_lagging_follower_catches_up_via_snapshot(self):
+        engine, network, nodes = self.make_cluster(threshold=4)
+        for node in nodes.values():
+            node.start()
+        deadline = engine.now + 30.0
+        leader = None
+        while engine.now < deadline and leader is None:
+            engine.run_until(engine.now + 0.5)
+            leader = next((n for n in nodes.values() if n.is_leader), None)
+        assert leader is not None
+        follower_id = next(p for p in nodes if p != leader.node_id)
+        # Take the follower offline while the leader commits and compacts.
+        network.set_online(follower_id, False)
+        for i in range(15):
+            leader.submit(f"cmd-{i}")
+            engine.run_until(engine.now + 0.3)
+        engine.run_until(engine.now + 2.0)
+        assert leader.log.snapshot_index > 0
+        # Reconnect: catch-up must go through InstallSnapshot because the
+        # needed entries were compacted away.
+        network.set_online(follower_id, True)
+        engine.run_until(engine.now + 10.0)
+        follower = nodes[follower_id]
+        assert follower.committed_commands() == leader.committed_commands()
+        assert follower.log.snapshot_index >= 1

@@ -1,0 +1,99 @@
+"""Unit tests for ECDSA signing."""
+
+import pytest
+
+from repro.crypto.keys import N, PrivateKey, generate_keypair
+from repro.crypto.signature import Signature, sign, verify
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(seed=("sig-tests", 0))
+
+
+class TestSignVerify:
+    def test_round_trip(self, keypair):
+        private, public = keypair
+        signature = sign(private, b"message")
+        assert verify(public, b"message", signature)
+
+    def test_wrong_message_rejected(self, keypair):
+        private, public = keypair
+        signature = sign(private, b"message")
+        assert not verify(public, b"other message", signature)
+
+    def test_wrong_key_rejected(self, keypair):
+        private, _ = keypair
+        _, other_public = generate_keypair(seed=("sig-tests", 1))
+        signature = sign(private, b"message")
+        assert not verify(other_public, b"message", signature)
+
+    def test_deterministic_signatures(self, keypair):
+        private, _ = keypair
+        assert sign(private, b"m") == sign(private, b"m")
+
+    def test_distinct_messages_distinct_nonces(self, keypair):
+        # Same r for two messages would reveal nonce reuse.
+        private, _ = keypair
+        sig_a = sign(private, b"a")
+        sig_b = sign(private, b"b")
+        assert sig_a.r != sig_b.r
+
+    def test_low_s_canonical_form(self, keypair):
+        private, _ = keypair
+        for message in (b"1", b"2", b"3", b"4", b"5"):
+            assert sign(private, message).s <= N // 2
+
+    def test_empty_message(self, keypair):
+        private, public = keypair
+        signature = sign(private, b"")
+        assert verify(public, b"", signature)
+
+    def test_large_message(self, keypair):
+        private, public = keypair
+        message = b"x" * 100_000
+        assert verify(public, message, sign(private, message))
+
+    def test_tampered_r_rejected(self, keypair):
+        private, public = keypair
+        signature = sign(private, b"m")
+        tampered = Signature(r=(signature.r % (N - 1)) + 1, s=signature.s)
+        if tampered.r != signature.r:
+            assert not verify(public, b"m", tampered)
+
+    def test_tampered_s_rejected(self, keypair):
+        private, public = keypair
+        signature = sign(private, b"m")
+        tampered = Signature(r=signature.r, s=(signature.s % (N - 1)) + 1)
+        if tampered.s != signature.s:
+            assert not verify(public, b"m", tampered)
+
+
+class TestSignatureEncoding:
+    def test_round_trip(self, keypair):
+        private, _ = keypair
+        signature = sign(private, b"encode me")
+        assert Signature.decode(signature.encode()) == signature
+
+    def test_hex_round_trip(self, keypair):
+        private, _ = keypair
+        signature = sign(private, b"hex me")
+        assert Signature.from_hex(signature.hex()) == signature
+
+    def test_fixed_width(self, keypair):
+        private, _ = keypair
+        assert len(sign(private, b"w").encode()) == 64
+
+    def test_zero_components_rejected(self):
+        with pytest.raises(ValueError):
+            Signature(0, 1)
+        with pytest.raises(ValueError):
+            Signature(1, 0)
+
+    def test_overflow_components_rejected(self):
+        with pytest.raises(ValueError):
+            Signature(N, 1)
+
+    def test_decode_wrong_length(self):
+        with pytest.raises(ValueError):
+            Signature.decode(b"\x01" * 63)

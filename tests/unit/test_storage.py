@@ -1,0 +1,173 @@
+"""Unit tests for per-node storage."""
+
+import pytest
+
+from repro.core.block import make_genesis
+from repro.core.errors import StorageError
+from repro.core.metadata import create_metadata
+from repro.core.storage import NodeStorage
+
+
+@pytest.fixture
+def storage():
+    return NodeStorage(capacity=5, recent_cache_capacity=2)
+
+
+@pytest.fixture
+def genesis():
+    return make_genesis((0, 1, 2), initial_b=1.0)
+
+
+def make_item(account, seq, valid_minutes=60.0, created=0.0):
+    return create_metadata(
+        account, producer=0, sequence=seq, created_at=created,
+        valid_time_minutes=valid_minutes,
+    )
+
+
+def make_block(genesis, index, account):
+    from repro.core.block import Block
+
+    return Block(
+        index=index,
+        timestamp=float(index * 10),
+        previous_hash="ab" * 32,
+        pos_hash="cd" * 32,
+        miner=0,
+        miner_address=account.address,
+        hit=0,
+        target_b=1.0,
+    )
+
+
+class TestSlots:
+    def test_empty_storage(self, storage):
+        assert storage.used_slots() == 0
+        assert storage.free_slots() == 5
+        assert not storage.is_full
+
+    def test_last_block_occupies_slot(self, storage, genesis):
+        storage.set_last_block(genesis)
+        assert storage.used_slots() == 1
+
+    def test_data_occupies_slot(self, storage, account):
+        storage.store_data(make_item(account, 0))
+        assert storage.used_slots() == 1
+
+    def test_capacity_enforced(self, storage, account):
+        for i in range(5):
+            storage.store_data(make_item(account, i))
+        with pytest.raises(StorageError):
+            storage.store_data(make_item(account, 5))
+        assert storage.rejected_for_capacity == 1
+
+    def test_duplicate_store_is_idempotent(self, storage, account):
+        item = make_item(account, 0)
+        storage.store_data(item)
+        storage.store_data(item, has_payload=True)
+        assert storage.used_slots() == 1
+        assert storage.can_serve(item.data_id)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            NodeStorage(capacity=0, recent_cache_capacity=1)
+        with pytest.raises(ValueError):
+            NodeStorage(capacity=1, recent_cache_capacity=-1)
+
+
+class TestPayloadTracking:
+    def test_slot_without_payload_cannot_serve(self, storage, account):
+        item = make_item(account, 0)
+        storage.store_data(item)
+        assert storage.has_data(item.data_id)
+        assert not storage.can_serve(item.data_id)
+
+    def test_mark_payload_received(self, storage, account):
+        item = make_item(account, 0)
+        storage.store_data(item)
+        storage.mark_payload_received(item.data_id)
+        assert storage.can_serve(item.data_id)
+
+    def test_mark_unknown_data_raises(self, storage):
+        with pytest.raises(StorageError):
+            storage.mark_payload_received("missing")
+
+    def test_drop_data(self, storage, account):
+        item = make_item(account, 0)
+        storage.store_data(item)
+        storage.drop_data(item.data_id)
+        assert not storage.has_data(item.data_id)
+        assert storage.used_slots() == 0
+
+
+class TestExpiry:
+    def test_evict_expired(self, storage, account):
+        fresh = make_item(account, 0, valid_minutes=60.0)
+        stale = make_item(account, 1, valid_minutes=1.0)
+        storage.store_data(fresh)
+        storage.store_data(stale)
+        evicted = storage.evict_expired(now=120.0)
+        assert evicted == [stale.data_id]
+        assert storage.has_data(fresh.data_id)
+        assert storage.used_slots() == 1
+
+    def test_evict_nothing_when_fresh(self, storage, account):
+        storage.store_data(make_item(account, 0, valid_minutes=60.0))
+        assert storage.evict_expired(now=10.0) == []
+
+
+class TestBlocks:
+    def test_store_and_get(self, storage, genesis, account):
+        block = make_block(genesis, 3, account)
+        storage.store_block(block)
+        assert storage.has_block(3)
+        assert storage.get_block(3) is block
+
+    def test_store_block_idempotent(self, storage, genesis, account):
+        block = make_block(genesis, 3, account)
+        storage.store_block(block)
+        storage.store_block(block)
+        assert storage.used_slots() == 1
+
+    def test_store_block_capacity(self, account, genesis):
+        storage = NodeStorage(capacity=1, recent_cache_capacity=0)
+        storage.store_block(make_block(genesis, 1, account))
+        with pytest.raises(StorageError):
+            storage.store_block(make_block(genesis, 2, account))
+
+    def test_last_block_visible_via_get(self, storage, genesis):
+        storage.set_last_block(genesis)
+        assert storage.has_block(0)
+        assert storage.get_block(0) is genesis
+
+    def test_missing_block(self, storage):
+        assert not storage.has_block(42)
+        assert storage.get_block(42) is None
+
+
+class TestRecentCache:
+    def test_fifo_eviction(self, storage, genesis, account):
+        blocks = [make_block(genesis, i, account) for i in (1, 2, 3)]
+        for block in blocks:
+            storage.cache_recent_block(block)
+        # Capacity 2: block 1 evicted.
+        assert not storage.has_block(1)
+        assert storage.has_block(2) and storage.has_block(3)
+        assert [b.index for b in storage.recent_blocks()] == [2, 3]
+
+    def test_duplicate_cache_ignored(self, storage, genesis, account):
+        block = make_block(genesis, 1, account)
+        storage.cache_recent_block(block)
+        storage.cache_recent_block(block)
+        assert len(storage.recent_blocks()) == 1
+
+    def test_zero_capacity_cache(self, genesis, account):
+        storage = NodeStorage(capacity=5, recent_cache_capacity=0)
+        storage.cache_recent_block(make_block(genesis, 1, account))
+        assert storage.recent_blocks() == ()
+
+    def test_stored_block_indices_union(self, storage, genesis, account):
+        storage.set_last_block(genesis)
+        storage.store_block(make_block(genesis, 5, account))
+        storage.cache_recent_block(make_block(genesis, 7, account))
+        assert storage.stored_block_indices() == {0, 5, 7}

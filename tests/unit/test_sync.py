@@ -1,0 +1,113 @@
+"""Unit tests for the block-recovery sync state machine."""
+
+import pytest
+
+from repro.core.block import make_genesis
+from repro.core.sync import SyncState, plan_block_requests
+
+
+def blockish(index):
+    """A lightweight stand-in carrying only the index attribute."""
+    import dataclasses
+
+    from repro.core.block import Block
+
+    return Block(
+        index=index,
+        timestamp=float(index),
+        previous_hash="00" * 32,
+        pos_hash="11" * 32,
+        miner=0,
+        miner_address="x",
+        hit=0,
+        target_b=1.0,
+    )
+
+
+class TestSyncState:
+    def test_begin_once(self):
+        sync = SyncState()
+        sync.begin(now=5.0)
+        sync.begin(now=9.0)
+        assert sync.started_at == 5.0
+        assert sync.recovering
+
+    def test_buffer_and_missing_below(self):
+        sync = SyncState()
+        sync.buffer_block(blockish(7))
+        sync.buffer_block(blockish(5))
+        assert sync.missing_below(tip_index=2) == [3, 4, 6]
+
+    def test_missing_below_empty_buffer(self):
+        assert SyncState().missing_below(3) == []
+
+    def test_next_appendable(self):
+        sync = SyncState()
+        sync.buffer_block(blockish(4))
+        assert sync.next_appendable(tip_index=3).index == 4
+        assert sync.next_appendable(tip_index=1) is None
+
+    def test_pop(self):
+        sync = SyncState()
+        sync.buffer_block(blockish(4))
+        sync.pop(4)
+        assert sync.next_appendable(3) is None
+
+    def test_buffer_clears_outstanding(self):
+        sync = SyncState()
+        sync.note_requested((4, 5))
+        sync.buffer_block(blockish(4))
+        assert sync.outstanding == {5}
+
+    def test_note_requested_dedups(self):
+        sync = SyncState()
+        assert sync.note_requested((1, 2)) == [1, 2]
+        assert sync.note_requested((2, 3)) == [3]
+
+    def test_finish_records_duration(self):
+        sync = SyncState()
+        sync.begin(now=10.0)
+        duration = sync.finish(now=12.5)
+        assert duration == pytest.approx(2.5)
+        assert sync.completed_durations == [2.5]
+        assert not sync.recovering
+
+    def test_finish_idle_returns_none(self):
+        assert SyncState().finish(now=1.0) is None
+
+    def test_reset(self):
+        sync = SyncState()
+        sync.begin(1.0)
+        sync.buffer_block(blockish(3))
+        sync.note_requested((2,))
+        sync.reset()
+        assert not sync.recovering
+        assert sync.buffered == {}
+        assert sync.outstanding == set()
+
+    def test_duplicate_buffer_keeps_first(self):
+        sync = SyncState()
+        first = blockish(3)
+        sync.buffer_block(first)
+        sync.buffer_block(blockish(3))
+        assert sync.buffered[3] is first
+
+
+class TestPlanBlockRequests:
+    def test_round_robin_over_neighbors(self):
+        plan = plan_block_requests([1, 2, 3, 4], neighbors=[10, 20], fan_out=2)
+        assert plan == {10: (1, 3), 20: (2, 4)}
+
+    def test_fan_out_limits_targets(self):
+        plan = plan_block_requests([1, 2, 3], neighbors=[10, 20, 30], fan_out=1)
+        assert plan == {10: (1, 2, 3)}
+
+    def test_no_neighbors(self):
+        assert plan_block_requests([1, 2], neighbors=[]) == {}
+
+    def test_no_missing(self):
+        assert plan_block_requests([], neighbors=[1]) == {}
+
+    def test_missing_sorted(self):
+        plan = plan_block_requests([9, 1, 5], neighbors=[10], fan_out=1)
+        assert plan == {10: (1, 5, 9)}

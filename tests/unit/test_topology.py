@@ -1,0 +1,140 @@
+"""Unit tests for the geometric topology."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.topology import (
+    UNREACHABLE,
+    Position,
+    Topology,
+    connected_random_positions,
+    random_positions,
+)
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+    def test_distance_symmetric(self):
+        a, b = Position(1, 2), Position(7, -3)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_distance_to_self(self):
+        p = Position(5, 5)
+        assert p.distance_to(p) == 0.0
+
+
+class TestSampling:
+    def test_random_positions_in_field(self, rng):
+        for p in random_positions(100, rng, field_size=300.0):
+            assert 0 <= p.x <= 300 and 0 <= p.y <= 300
+
+    def test_random_positions_count(self, rng):
+        assert len(random_positions(17, rng)) == 17
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_positions(-1, rng)
+
+    @pytest.mark.parametrize("count", [2, 5, 10, 30, 50])
+    def test_connected_sampling_is_connected(self, rng, count):
+        positions = connected_random_positions(count, rng)
+        assert Topology(positions).is_connected()
+
+    def test_connected_sampling_deterministic(self):
+        a = connected_random_positions(10, np.random.default_rng(3))
+        b = connected_random_positions(10, np.random.default_rng(3))
+        assert a == b
+
+
+class TestTopology:
+    def test_line_hops(self, line_topology):
+        assert line_topology.hop_count(0, 4) == 4
+        assert line_topology.hop_count(0, 1) == 1
+        assert line_topology.hop_count(2, 2) == 0
+
+    def test_hop_symmetry(self, line_topology):
+        assert line_topology.hop_count(0, 3) == line_topology.hop_count(3, 0)
+
+    def test_neighbors_sorted(self, line_topology):
+        assert line_topology.neighbors(2) == [1, 3]
+
+    def test_hop_matrix_matches_hop_count(self, small_topology):
+        matrix = small_topology.hop_matrix()
+        for i in range(small_topology.node_count):
+            for j in range(small_topology.node_count):
+                assert matrix[i, j] == small_topology.hop_count(i, j)
+
+    def test_hop_matrix_diagonal_zero(self, small_topology):
+        assert (np.diag(small_topology.hop_matrix()) == 0).all()
+
+    def test_shortest_path_endpoints(self, line_topology):
+        path = line_topology.shortest_path(0, 4)
+        assert path[0] == 0 and path[-1] == 4
+        assert len(path) == 5
+
+    def test_shortest_path_unreachable(self):
+        topo = Topology([Position(0, 0), Position(500, 500)], comm_range=70)
+        assert topo.shortest_path(0, 1) is None
+        assert topo.hop_count(0, 1) == UNREACHABLE
+
+    def test_remove_node_disconnects(self, line_topology):
+        line_topology.remove_node(2)
+        assert line_topology.hop_count(0, 4) == UNREACHABLE
+        assert line_topology.hop_count(0, 1) == 1
+
+    def test_restore_node_reconnects(self, line_topology):
+        line_topology.remove_node(2)
+        line_topology.restore_node(2)
+        assert line_topology.hop_count(0, 4) == 4
+
+    def test_remove_unknown_node(self, line_topology):
+        with pytest.raises(KeyError):
+            line_topology.remove_node(99)
+
+    def test_update_positions_invalidates_hops(self, line_topology):
+        assert line_topology.hop_count(0, 4) == 4
+        # Move node 4 next to node 0.
+        new_positions = line_topology.positions
+        new_positions[4] = Position(10.0, 0.0)
+        line_topology.update_positions(new_positions)
+        assert line_topology.hop_count(0, 4) == 1
+
+    def test_update_positions_wrong_count(self, line_topology):
+        with pytest.raises(ValueError):
+            line_topology.update_positions([Position(0, 0)])
+
+    def test_bfs_tree_depths_match_hops(self, small_topology):
+        parents = small_topology.bfs_tree(0)
+        for node in parents:
+            depth = 0
+            cursor = node
+            while parents[cursor] != cursor:
+                cursor = parents[cursor]
+                depth += 1
+            assert depth == small_topology.hop_count(0, node)
+
+    def test_bfs_tree_covers_component(self, small_topology):
+        parents = small_topology.bfs_tree(0)
+        assert set(parents) == set(small_topology.reachable_from(0))
+
+    def test_components_partition_nodes(self):
+        topo = Topology(
+            [Position(0, 0), Position(50, 0), Position(500, 500)], comm_range=70
+        )
+        comps = topo.components()
+        assert comps == [[0, 1], [2]]
+
+    def test_is_connected_subset(self, line_topology):
+        assert line_topology.is_connected_subset([0, 1, 2])
+        assert not line_topology.is_connected_subset([0, 2])
+        assert line_topology.is_connected_subset([3])
+        assert line_topology.is_connected_subset([])
+
+    def test_euclidean_distance(self, line_topology):
+        assert line_topology.euclidean_distance(0, 2) == pytest.approx(100.0)
+
+    def test_invalid_comm_range(self):
+        with pytest.raises(ValueError):
+            Topology([Position(0, 0)], comm_range=0)

@@ -1,0 +1,83 @@
+"""Unit tests for transmission accounting."""
+
+import pytest
+
+from repro.simnet.trace import TransmissionTrace
+
+
+class TestTransmissionTrace:
+    def test_record_hop_bills_both_ends(self):
+        trace = TransmissionTrace()
+        trace.record_hop(0, 1, 500, "data")
+        assert trace.node(0).tx_bytes == 500
+        assert trace.node(1).rx_bytes == 500
+        assert trace.node(0).rx_bytes == 0
+        assert trace.node(1).tx_bytes == 0
+
+    def test_message_counters(self):
+        trace = TransmissionTrace()
+        trace.record_hop(0, 1, 10, "a")
+        trace.record_hop(1, 2, 10, "a")
+        assert trace.node(1).tx_messages == 1
+        assert trace.node(1).rx_messages == 1
+        assert trace.total_messages() == 2
+
+    def test_total_bytes_counts_each_hop(self):
+        trace = TransmissionTrace()
+        trace.record_hop(0, 1, 100, "a")
+        trace.record_hop(1, 2, 100, "a")
+        assert trace.total_bytes() == 200
+
+    def test_category_breakdown(self):
+        trace = TransmissionTrace()
+        trace.record_hop(0, 1, 100, "block")
+        trace.record_hop(0, 1, 50, "data")
+        trace.record_hop(0, 1, 25, "data")
+        assert trace.category_bytes("block") == 100
+        assert trace.category_bytes("data") == 75
+        assert trace.categories() == {"block": 100, "data": 75}
+        assert trace.category_messages() == {"block": 1, "data": 2}
+
+    def test_unknown_category_is_zero(self):
+        assert TransmissionTrace().category_bytes("nothing") == 0
+
+    def test_per_node_bytes_order(self):
+        trace = TransmissionTrace()
+        trace.record_hop(0, 1, 10, "a")
+        trace.record_hop(2, 0, 7, "a")
+        assert trace.per_node_bytes([0, 1, 2]) == [17, 10, 7]
+
+    def test_average_includes_silent_nodes(self):
+        trace = TransmissionTrace()
+        trace.record_hop(0, 1, 100, "a")
+        # Nodes 2 and 3 never appear but still count in the mean.
+        assert trace.average_node_bytes(4) == pytest.approx(200 / 4)
+
+    def test_average_invalid_count(self):
+        with pytest.raises(ValueError):
+            TransmissionTrace().average_node_bytes(0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            TransmissionTrace().record_hop(0, 1, -5, "a")
+
+    def test_total_bytes_property(self):
+        trace = TransmissionTrace()
+        trace.record_hop(0, 1, 10, "a")
+        assert trace.node(0).total_bytes == 10
+        assert trace.node(1).total_bytes == 10
+
+    def test_snapshot(self):
+        trace = TransmissionTrace()
+        trace.record_hop(0, 1, 10, "a")
+        snap = trace.snapshot()
+        assert snap["total_bytes"] == 10
+        assert snap["total_messages"] == 1
+        assert snap["categories"] == {"a": 10}
+
+    def test_reset(self):
+        trace = TransmissionTrace()
+        trace.record_hop(0, 1, 10, "a")
+        trace.reset()
+        assert trace.total_bytes() == 0
+        assert trace.node(0).tx_bytes == 0

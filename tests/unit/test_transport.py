@@ -1,0 +1,171 @@
+"""Unit tests for the network transport."""
+
+import pytest
+
+from repro.simnet.channel import ChannelModel
+from repro.simnet.engine import EventEngine
+from repro.simnet.topology import Position, Topology
+from repro.simnet.transport import Network
+
+
+@pytest.fixture
+def line_network():
+    engine = EventEngine(seed=1)
+    positions = [Position(50.0 * i, 0.0) for i in range(5)]
+    topology = Topology(positions, comm_range=70.0)
+    channel = ChannelModel(hop_delay=0.010, bandwidth=None)
+    network = Network(engine, topology, channel)
+    inboxes = {i: [] for i in range(5)}
+    for node in range(5):
+        network.register(node, lambda src, p, c, _n=node: inboxes[_n].append((src, p, c)))
+    return engine, network, inboxes
+
+
+class TestUnicast:
+    def test_delivery(self, line_network):
+        engine, network, inboxes = line_network
+        receipt = network.send(0, 4, "hello", 100, "test")
+        assert receipt.delivered
+        assert receipt.hops == 4
+        engine.run()
+        assert inboxes[4] == [(0, "hello", "test")]
+
+    def test_latency_scales_with_hops(self, line_network):
+        engine, network, _ = line_network
+        assert network.send(0, 1, "x", 0, "t").latency == pytest.approx(0.010)
+        assert network.send(0, 4, "x", 0, "t").latency == pytest.approx(0.040)
+
+    def test_intermediate_nodes_do_not_receive(self, line_network):
+        engine, network, inboxes = line_network
+        network.send(0, 4, "direct", 10, "t")
+        engine.run()
+        assert inboxes[1] == [] and inboxes[2] == [] and inboxes[3] == []
+
+    def test_each_hop_billed(self, line_network):
+        engine, network, _ = line_network
+        network.send(0, 4, "x", 100, "t")
+        assert network.trace.total_bytes() == 400
+        assert network.trace.node(2).tx_bytes == 100
+        assert network.trace.node(2).rx_bytes == 100
+
+    def test_loopback_rejected(self, line_network):
+        _, network, _ = line_network
+        with pytest.raises(ValueError):
+            network.send(2, 2, "x", 0, "t")
+
+    def test_offline_target_drops(self, line_network):
+        engine, network, inboxes = line_network
+        network.set_online(4, False)
+        receipt = network.send(0, 4, "x", 0, "t")
+        assert not receipt.delivered
+        engine.run()
+        assert inboxes[4] == []
+
+    def test_offline_source_drops(self, line_network):
+        _, network, _ = line_network
+        network.set_online(0, False)
+        assert not network.send(0, 4, "x", 0, "t").delivered
+
+    def test_offline_relay_blocks_path(self, line_network):
+        _, network, _ = line_network
+        network.set_online(2, False)
+        assert not network.send(0, 4, "x", 0, "t").delivered
+
+    def test_restore_node(self, line_network):
+        engine, network, inboxes = line_network
+        network.set_online(2, False)
+        network.set_online(2, True)
+        assert network.send(0, 4, "x", 0, "t").delivered
+        engine.run()
+        assert inboxes[4]
+
+    def test_message_to_offline_node_in_flight_dropped(self, line_network):
+        engine, network, inboxes = line_network
+        network.send(0, 4, "x", 0, "t")
+        network.set_online(4, False)  # goes offline before delivery event
+        engine.run()
+        assert inboxes[4] == []
+
+    def test_online_nodes_listing(self, line_network):
+        _, network, _ = line_network
+        network.set_online(1, False)
+        assert network.online_nodes() == [0, 2, 3, 4]
+
+
+class TestBroadcast:
+    def test_tree_reaches_all(self, line_network):
+        engine, network, inboxes = line_network
+        reached = network.broadcast(0, "blk", 100, "block")
+        engine.run()
+        assert reached == 4
+        for node in range(1, 5):
+            assert inboxes[node] == [(0, "blk", "block")]
+
+    def test_tree_bills_once_per_node(self, line_network):
+        _, network, _ = line_network
+        network.broadcast(0, "blk", 100, "block")
+        # Line: 4 tree edges.
+        assert network.trace.total_bytes() == 400
+
+    def test_broadcast_latency_by_depth(self, line_network):
+        engine, network, inboxes = line_network
+        network.broadcast(0, "blk", 0, "block")
+        engine.run_until(0.015)
+        assert inboxes[1] and not inboxes[2]
+        engine.run_until(0.045)
+        assert inboxes[4]
+
+    def test_flood_bills_more_than_tree(self):
+        engine = EventEngine(seed=1)
+        # A triangle: flooding crosses the redundant edge, the tree doesn't.
+        positions = [Position(0, 0), Position(50, 0), Position(25, 40)]
+        topology = Topology(positions, comm_range=70.0)
+        network = Network(engine, topology, ChannelModel(bandwidth=None))
+        for n in range(3):
+            network.register(n, lambda *a: None)
+        network.broadcast(0, "m", 100, "tree", mode="tree")
+        tree_bytes = network.trace.total_bytes()
+        network.trace.reset()
+        network.broadcast(0, "m", 100, "flood", mode="flood")
+        flood_bytes = network.trace.total_bytes()
+        assert flood_bytes > tree_bytes
+
+    def test_broadcast_from_offline_reaches_none(self, line_network):
+        _, network, _ = line_network
+        network.set_online(0, False)
+        assert network.broadcast(0, "m", 10, "t") == 0
+
+    def test_broadcast_skips_disconnected(self, line_network):
+        engine, network, inboxes = line_network
+        network.set_online(2, False)
+        reached = network.broadcast(0, "m", 10, "t")
+        engine.run()
+        assert reached == 1  # only node 1 reachable
+        assert inboxes[3] == [] and inboxes[4] == []
+
+    def test_unknown_mode_rejected(self, line_network):
+        _, network, _ = line_network
+        with pytest.raises(ValueError):
+            network.broadcast(0, "m", 10, "t", mode="carrier-pigeon")
+
+
+class TestLoss:
+    def test_lossy_unicast_eventually_drops(self):
+        engine = EventEngine(seed=5)
+        positions = [Position(0, 0), Position(50, 0)]
+        topology = Topology(positions, comm_range=70.0)
+        network = Network(engine, topology, ChannelModel(loss_probability=0.5))
+        received = []
+        network.register(1, lambda *a: received.append(a))
+        outcomes = [network.send(0, 1, "x", 10, "t").delivered for _ in range(200)]
+        assert any(outcomes) and not all(outcomes)
+
+    def test_lost_message_still_billed(self):
+        engine = EventEngine(seed=5)
+        positions = [Position(0, 0), Position(50, 0)]
+        topology = Topology(positions, comm_range=70.0)
+        network = Network(engine, topology, ChannelModel(loss_probability=0.99))
+        network.register(1, lambda *a: None)
+        for _ in range(50):
+            network.send(0, 1, "x", 10, "t")
+        assert network.trace.total_bytes() == 500

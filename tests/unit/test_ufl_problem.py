@@ -1,0 +1,140 @@
+"""Unit tests for the UFL problem/solution model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.facility.problem import (
+    UFLProblem,
+    UFLSolution,
+    assign_to_open,
+    solution_cost_of_open_set,
+)
+
+
+@pytest.fixture
+def tiny():
+    """2 facilities, 3 clients."""
+    return UFLProblem(
+        facility_costs=np.array([10.0, 4.0]),
+        connection_costs=np.array([[1.0, 2.0, 3.0], [3.0, 1.0, 2.0]]),
+    )
+
+
+class TestUFLProblem:
+    def test_shape_accessors(self, tiny):
+        assert tiny.num_facilities == 2
+        assert tiny.num_clients == 3
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            UFLProblem(np.ones(2), np.ones((3, 4)))
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            UFLProblem(np.array([-1.0]), np.ones((1, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            UFLProblem(np.ones(0), np.ones((0, 2)))
+
+    def test_openable_excludes_inf(self):
+        problem = UFLProblem(
+            np.array([1.0, math.inf, 2.0]), np.zeros((3, 2))
+        )
+        assert list(problem.openable_facilities()) == [0, 2]
+
+    def test_feasible(self, tiny):
+        assert tiny.is_feasible()
+
+    def test_infeasible_all_full(self):
+        problem = UFLProblem(np.array([math.inf]), np.zeros((1, 2)))
+        assert not problem.is_feasible()
+
+    def test_infeasible_unreachable_client(self):
+        problem = UFLProblem(
+            np.array([1.0, math.inf]),
+            np.array([[0.0, math.inf], [math.inf, 0.0]]),
+        )
+        assert not problem.is_feasible()
+
+
+class TestUFLSolution:
+    def test_costs(self, tiny):
+        solution = UFLSolution(open_facilities=(1,), assignment=(1, 1, 1))
+        assert solution.facility_cost(tiny) == 4.0
+        assert solution.connection_cost(tiny) == 6.0
+        assert solution.total_cost(tiny) == 10.0
+
+    def test_replica_count(self, tiny):
+        assert UFLSolution((0, 1), (0, 1, 1)).replica_count == 2
+
+    def test_validate_ok(self, tiny):
+        UFLSolution((0, 1), (0, 1, 1)).validate(tiny)
+
+    def test_validate_rejects_closed_assignment(self, tiny):
+        with pytest.raises(ValueError):
+            UFLSolution((0,), (0, 1, 0)).validate(tiny)
+
+    def test_validate_rejects_wrong_length(self, tiny):
+        with pytest.raises(ValueError):
+            UFLSolution((0,), (0, 0)).validate(tiny)
+
+    def test_validate_rejects_empty_open_set(self, tiny):
+        with pytest.raises(ValueError):
+            UFLSolution((), (0, 0, 0)).validate(tiny)
+
+    def test_validate_rejects_infinite_facility(self):
+        problem = UFLProblem(
+            np.array([math.inf, 1.0]), np.zeros((2, 1))
+        )
+        with pytest.raises(ValueError):
+            UFLSolution((0,), (0,)).validate(problem)
+
+    def test_open_set_deduplicated_and_sorted(self):
+        solution = UFLSolution((2, 0, 2), (0, 0))
+        assert solution.open_facilities == (0, 2)
+
+
+class TestAssignToOpen:
+    def test_assigns_cheapest(self, tiny):
+        solution = assign_to_open(tiny, [0, 1])
+        assert solution.assignment == (0, 1, 1)
+
+    def test_single_facility(self, tiny):
+        solution = assign_to_open(tiny, [0])
+        assert solution.assignment == (0, 0, 0)
+
+    def test_empty_rejected(self, tiny):
+        with pytest.raises(ValueError):
+            assign_to_open(tiny, [])
+
+    def test_unreachable_client_rejected(self):
+        problem = UFLProblem(
+            np.array([1.0, 1.0]),
+            np.array([[0.0, math.inf], [math.inf, 0.0]]),
+        )
+        with pytest.raises(ValueError):
+            assign_to_open(problem, [0])
+
+
+class TestOpenSetCost:
+    def test_matches_solution_cost(self, tiny):
+        for open_set in ([0], [1], [0, 1]):
+            expected = assign_to_open(tiny, open_set).total_cost(tiny)
+            assert solution_cost_of_open_set(tiny, open_set) == pytest.approx(expected)
+
+    def test_empty_is_inf(self, tiny):
+        assert solution_cost_of_open_set(tiny, []) == math.inf
+
+    def test_unopenable_is_inf(self):
+        problem = UFLProblem(np.array([math.inf, 1.0]), np.zeros((2, 1)))
+        assert solution_cost_of_open_set(problem, [0]) == math.inf
+
+    def test_unreachable_is_inf(self):
+        problem = UFLProblem(
+            np.array([1.0, 1.0]),
+            np.array([[0.0, math.inf], [math.inf, 0.0]]),
+        )
+        assert solution_cost_of_open_set(problem, [0]) == math.inf

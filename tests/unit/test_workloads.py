@@ -1,0 +1,93 @@
+"""Unit tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import (
+    DATA_CATALOGUE,
+    generate_production_schedule,
+)
+from repro.workloads.requests import plan_requests
+
+
+class TestProductionSchedule:
+    def test_rate_matches_expectation(self, rng):
+        events = generate_production_schedule(
+            node_count=20, items_per_minute=2.0, duration_seconds=3600 * 10, rng=rng
+        )
+        # 2/min over 600 minutes ≈ 1200 events (±15 %).
+        assert 1000 < len(events) < 1400
+
+    def test_events_within_duration_and_sorted(self, rng):
+        events = generate_production_schedule(10, 1.0, 3600.0, rng)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(0 < t < 3600.0 for t in times)
+
+    def test_producers_in_range(self, rng):
+        events = generate_production_schedule(5, 3.0, 3600.0, rng)
+        assert all(0 <= e.producer < 5 for e in events)
+
+    def test_producers_spread(self, rng):
+        events = generate_production_schedule(5, 3.0, 3600.0 * 3, rng)
+        assert len({e.producer for e in events}) == 5
+
+    def test_catalogue_types_used(self, rng):
+        events = generate_production_schedule(5, 3.0, 3600.0 * 3, rng)
+        types = {e.data_type for e in events}
+        assert types <= {entry[0] for entry in DATA_CATALOGUE}
+        assert len(types) > 1
+
+    def test_zero_rate_empty(self, rng):
+        assert generate_production_schedule(5, 0.0, 3600.0, rng) == []
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            generate_production_schedule(0, 1.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            generate_production_schedule(1, -1.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            generate_production_schedule(1, 1.0, -10.0, rng)
+
+    def test_deterministic_with_seed(self):
+        a = generate_production_schedule(5, 1.0, 3600.0, np.random.default_rng(4))
+        b = generate_production_schedule(5, 1.0, 3600.0, np.random.default_rng(4))
+        assert a == b
+
+
+class TestRequestPlan:
+    def test_ten_percent_of_nodes(self, rng):
+        plan = plan_requests(
+            node_count=50, producer=3, production_time=100.0,
+            requester_fraction=0.10, rng=rng,
+        )
+        assert len(plan.requesters) == 5
+
+    def test_at_least_one_requester(self, rng):
+        plan = plan_requests(5, 0, 0.0, 0.10, rng)
+        assert len(plan.requesters) == 1
+
+    def test_producer_excluded(self, rng):
+        for _ in range(20):
+            plan = plan_requests(10, 7, 0.0, 0.3, rng)
+            assert 7 not in plan.requesters
+
+    def test_requesters_distinct(self, rng):
+        plan = plan_requests(30, 0, 0.0, 0.5, rng)
+        assert len(set(plan.requesters)) == len(plan.requesters)
+
+    def test_times_after_production_delay(self, rng):
+        plan = plan_requests(
+            20, 0, production_time=500.0, requester_fraction=0.2, rng=rng,
+            min_delay=60.0, max_delay=120.0,
+        )
+        for t in plan.times:
+            assert 560.0 <= t <= 620.0
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            plan_requests(10, 0, 0.0, 1.5, rng)
+
+    def test_invalid_delays(self, rng):
+        with pytest.raises(ValueError):
+            plan_requests(10, 0, 0.0, 0.1, rng, min_delay=100.0, max_delay=50.0)

@@ -3,14 +3,24 @@
 The expensive simulation sweeps are session-scoped so the per-panel
 benchmarks (Fig. 4a/b/c share one sweep; Fig. 5a/b share another) run the
 workload once and each render their own panel.
+
+Setting ``REPRO_BENCH_PERSIST=DIR`` makes every sweep cell a durable run
+(:mod:`repro.persist`) in its own subdirectory of DIR: a killed sweep
+session resumes each interrupted cell from its last checkpoint instead
+of restarting the whole grid, and determinism guarantees the resumed
+cell's metrics equal an uninterrupted run's.
 """
 
 from __future__ import annotations
 
+import os
+import shutil
+from pathlib import Path
 from typing import Dict, Tuple
 
 import pytest
 
+from repro.core.errors import PersistError
 from repro.metrics.collector import RunMetrics
 from repro.sim.runner import run_experiment
 from repro.sim.scenarios import (
@@ -22,6 +32,26 @@ from repro.sim.scenarios import (
 
 #: Seeds averaged per cell ("All results are the average of 2 simulations").
 PAPER_SEED_COUNT = 2
+
+
+def _cell_metrics(spec, label: str) -> RunMetrics:
+    """Run one sweep cell, durably when ``REPRO_BENCH_PERSIST`` is set."""
+    root = os.environ.get("REPRO_BENCH_PERSIST")
+    if not root:
+        return run_experiment(spec).metrics
+    from repro.persist import resume_run, run_persistent
+    from repro.persist.resume import MANIFEST_NAME
+
+    directory = Path(root) / label
+    try:
+        if (directory / MANIFEST_NAME).exists():
+            return resume_run(directory).metrics  # finish a killed cell
+        return run_persistent(spec, directory).metrics
+    except PersistError:
+        # Leftover from an earlier, already-finished (or damaged)
+        # session: runs are deterministic, so redo the cell cleanly.
+        shutil.rmtree(directory, ignore_errors=True)
+        return run_persistent(spec, directory).metrics
 
 
 def _average(metrics_list):
@@ -47,9 +77,10 @@ def fig4_sweep() -> Dict[Tuple[int, float], dict]:
     for node_count in PAPER_NODE_COUNTS:
         for rate in PAPER_DATA_RATES:
             cell = [
-                run_experiment(
-                    data_amount_scenario(node_count, rate, seed=seed)
-                ).metrics
+                _cell_metrics(
+                    data_amount_scenario(node_count, rate, seed=seed),
+                    f"fig4-n{node_count}-r{rate:g}-s{seed}",
+                )
                 for seed in range(PAPER_SEED_COUNT)
             ]
             results[(node_count, rate)] = _average(cell)
@@ -63,9 +94,10 @@ def fig5_sweep() -> Dict[Tuple[str, int], dict]:
     for solver in ("greedy", "random"):
         for node_count in PAPER_NODE_COUNTS:
             cell = [
-                run_experiment(
-                    placement_scenario(node_count, solver, seed=seed)
-                ).metrics
+                _cell_metrics(
+                    placement_scenario(node_count, solver, seed=seed),
+                    f"fig5-{solver}-n{node_count}-s{seed}",
+                )
                 for seed in range(PAPER_SEED_COUNT)
             ]
             results[(solver, node_count)] = _average(cell)

@@ -3,10 +3,13 @@
 Commands:
 
 * ``run``  — one experiment with explicit parameters; prints the summary
-  and optionally archives it as JSON/CSV.
+  and optionally archives it as JSON/CSV.  ``--persist DIR`` makes the
+  run durable (journal + SQLite store + snapshots in DIR).
+* ``resume`` — continue a durable run after a pause, kill, or crash.
+* ``inspect`` — health-check a durable run directory; exits non-zero on
+  unrecoverable corruption.
 * ``fig4`` / ``fig5`` / ``fig6`` — regenerate a paper figure from the
   terminal (the benchmarks do the same under pytest).
-* ``sweep`` — a node-count × data-rate grid with export.
 """
 
 from __future__ import annotations
@@ -17,8 +20,16 @@ from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.config import PAPER_CONFIG
+from repro.core.errors import PersistError
 from repro.metrics.export import metrics_to_record, write_csv, write_json
 from repro.metrics.report import render_table
+from repro.persist import (
+    PersistConfig,
+    PersistentRunResult,
+    inspect_run,
+    resume_run,
+    run_persistent,
+)
 from repro.sim.runner import ExperimentSpec, run_experiment
 from repro.sim.scenarios import data_amount_scenario, placement_scenario
 
@@ -49,6 +60,34 @@ def _export(records, json_path: Optional[str], csv_path: Optional[str]) -> None:
         print(f"wrote {write_csv(records, csv_path)}")
 
 
+def _persist_config(args: argparse.Namespace) -> PersistConfig:
+    try:
+        return PersistConfig(
+            journal_every_seconds=args.journal_every,
+            snapshot_every_seconds=args.snapshot_every,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+
+
+def _finish_durable(outcome: PersistentRunResult, label: str) -> int:
+    if not outcome.completed:
+        print(
+            f"paused at t={outcome.clock:g}s — resume with "
+            f"`repro resume {outcome.directory}`"
+        )
+        return 0
+    _print_run_summary(label, outcome.metrics)
+    if outcome.resumed_from is not None:
+        print(
+            f"resumed from t={outcome.resumed_from:g}s; "
+            f"{outcome.blocks_verified} re-mined block(s) verified "
+            "against the pre-crash journal"
+        )
+    print(f"run directory: {outcome.directory}")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     config = replace(
         PAPER_CONFIG,
@@ -62,16 +101,66 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         duration_minutes=args.minutes,
     )
-    result = run_experiment(spec)
-    _print_run_summary(
+    label = (
         f"Run: {args.nodes} nodes, {args.minutes:g} min, "
-        f"{args.rate:g} items/min, solver={args.solver}, seed={args.seed}",
-        result.metrics,
+        f"{args.rate:g} items/min, solver={args.solver}, seed={args.seed}"
     )
+    if args.persist:
+        outcome = run_persistent(
+            spec,
+            args.persist,
+            persist=_persist_config(args),
+            stop_after_seconds=args.stop_after,
+        )
+        status = _finish_durable(outcome, label)
+        if status or not outcome.completed:
+            return status
+        result = outcome.result
+    else:
+        if args.stop_after is not None:
+            raise SystemExit("--stop-after requires --persist DIR")
+        result = run_experiment(spec)
+        _print_run_summary(label, result.metrics)
     record = metrics_to_record(
         result.metrics, seed=args.seed, rate=args.rate, solver=args.solver
     )
     _export([record], args.json, args.csv)
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    outcome = resume_run(args.directory, stop_after_seconds=args.stop_after)
+    return _finish_durable(outcome, f"Resumed run: {args.directory}")
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    report = inspect_run(args.directory)
+    rows = [
+        ["status", report.status],
+        ["journal records", report.journal_records],
+        ["journal chain height", report.journal_height],
+        ["store height / blocks", f"{report.store_height} / {report.store_blocks}"],
+        ["store metadata items", report.store_metadata],
+        ["store tip", (report.store_tip or "-")[:16]],
+        ["snapshots", len(report.snapshots)],
+    ]
+    for info in report.snapshots:
+        rows.append(
+            [
+                f"  {info.path.name}",
+                f"t={info.clock:g}s h={info.height} ({info.blob_bytes} B blob)",
+            ]
+        )
+    print()
+    print(render_table(f"Inspect: {report.directory}", ["field", "value"], rows))
+    for note in report.notes:
+        print(f"note: {note}")
+    for problem in report.problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    if not report.ok:
+        print(f"{len(report.problems)} problem(s) found", file=sys.stderr)
+        return 1
+    print("ok")
     return 0
 
 
@@ -203,7 +292,37 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--block-interval", type=float, default=60.0)
     run.add_argument("--json", help="write metrics record to this JSON file")
     run.add_argument("--csv", help="write metrics record to this CSV file")
+    run.add_argument(
+        "--persist", metavar="DIR",
+        help="make the run durable: journal, chain store, and snapshots in DIR",
+    )
+    run.add_argument(
+        "--stop-after", type=float, metavar="SECONDS",
+        help="pause cleanly after this much simulated time (requires --persist)",
+    )
+    run.add_argument(
+        "--journal-every", type=float, default=30.0, metavar="SECONDS",
+        help="simulated seconds between journal flushes (default 30)",
+    )
+    run.add_argument(
+        "--snapshot-every", type=float, default=600.0, metavar="SECONDS",
+        help="simulated seconds between runtime snapshots (default 600)",
+    )
     run.set_defaults(func=cmd_run)
+
+    resume = sub.add_parser("resume", help="continue a durable run after a stop/crash")
+    resume.add_argument("directory", help="run directory created by `run --persist`")
+    resume.add_argument(
+        "--stop-after", type=float, metavar="SECONDS",
+        help="pause again after this much additional simulated time",
+    )
+    resume.set_defaults(func=cmd_resume)
+
+    inspect = sub.add_parser(
+        "inspect", help="health-check a durable run directory (non-zero on corruption)"
+    )
+    inspect.add_argument("directory", help="run directory created by `run --persist`")
+    inspect.set_defaults(func=cmd_inspect)
 
     fig4 = sub.add_parser("fig4", help="regenerate Fig. 4 (data-amount sweep)")
     fig4.add_argument("--node-counts", type=int, nargs="+", default=[10, 30, 50])
@@ -232,7 +351,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except PersistError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from repro.core.block import Block, make_genesis
 from repro.core.config import SystemConfig
 from repro.core.errors import ChainLinkError, ConsensusError, ValidationError
 from repro.core.metadata import MetadataItem
+from repro.crypto.hashing import hash_items
 from repro.core.pos import (
     compute_amendment,
     compute_hit,
@@ -157,6 +158,28 @@ class ChainState:
     def recent_cache_of(self, node: int) -> Tuple[int, ...]:
         return tuple(self._ledger[node].recent_cache)
 
+    def ledger_digest(self) -> str:
+        """Deterministic hash of the full derived ledger.
+
+        Two nodes (or one node before and after a snapshot/restore cycle)
+        derive the same digest iff their token balances, storage
+        assignments, and recent caches agree exactly — ``repr`` keeps the
+        float token balances bit-exact.
+        """
+        fields: List[object] = ["ledger-digest", self.blocks_applied]
+        for node in self.node_ids:
+            ledger = self._ledger[node]
+            fields.extend(
+                (
+                    node,
+                    repr(ledger.tokens),
+                    ",".join(repr(e) for e in ledger.data_expiries),
+                    ledger.blocks_stored,
+                    ",".join(map(str, ledger.recent_cache)),
+                )
+            )
+        return hash_items(*fields).hex()
+
     def storage_snapshot(self, now: float) -> Dict[int, int]:
         """Used slots for every node (the Gini-coefficient input)."""
         return {node: self.used_slots(node, now) for node in self.node_ids}
@@ -221,6 +244,20 @@ class Blockchain:
 
     def metadata_of(self, data_id: str) -> Optional[MetadataItem]:
         return self.state.metadata_index.get(data_id)
+
+    def chain_digest(self) -> str:
+        """Hash committing to the whole chain plus its derived ledger.
+
+        The persistence layer stores this in every snapshot and re-checks
+        it after restore: a restored chain must reproduce the digest
+        byte-for-byte or the snapshot is rejected as inconsistent.
+        """
+        return hash_items(
+            "chain-digest",
+            self.height,
+            self.tip.current_hash,
+            self.state.ledger_digest(),
+        ).hex()
 
     def search_metadata(
         self,

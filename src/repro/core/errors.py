@@ -29,3 +29,8 @@ class AllocationError(EdgeChainError):
 
 class SyncError(EdgeChainError):
     """Block synchronisation failed (unsatisfiable request, bad response)."""
+
+
+class PersistError(EdgeChainError):
+    """A durable-persistence operation failed (corrupt journal, bad
+    snapshot, incompatible store schema, unresumable run)."""

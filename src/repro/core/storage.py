@@ -120,6 +120,10 @@ class NodeStorage:
     def data_ids(self) -> Set[str]:
         return set(self._data.keys())
 
+    def data_entries(self) -> Tuple[StoredData, ...]:
+        """Stored data entries in insertion order (the snapshot wire order)."""
+        return tuple(self._data.values())
+
     # -- blocks --------------------------------------------------------------------------
 
     def store_block(self, block: Block) -> None:
@@ -175,3 +179,7 @@ class NodeStorage:
 
     def recent_blocks(self) -> Tuple[Block, ...]:
         return tuple(self._recent)
+
+    def assigned_blocks(self) -> Tuple[Block, ...]:
+        """Permanently assigned blocks in insertion order (snapshot order)."""
+        return tuple(self._blocks.values())

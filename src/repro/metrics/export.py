@@ -2,7 +2,10 @@
 
 Turns :class:`~repro.metrics.collector.RunMetrics` into plain
 serialisable records so sweeps can be archived, diffed across runs, and
-plotted by external tools.
+plotted by external tools.  :func:`store_chain_record` derives the
+chain-level share of those quantities straight from a durable
+:class:`~repro.persist.chainstore.ChainStore`, so finished (or crashed)
+runs can be summarised without re-simulating anything.
 """
 
 from __future__ import annotations
@@ -58,6 +61,44 @@ def write_json(records: Sequence[Mapping[str, object]], path: PathLike) -> Path:
 def read_json(path: PathLike) -> List[Dict[str, object]]:
     with Path(path).open("r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def store_chain_record(store) -> Dict[str, object]:
+    """Chain-level metrics straight from a durable chain store.
+
+    ``store`` is a :class:`~repro.persist.chainstore.ChainStore` (typed
+    loosely to keep this module import-light).  The record mirrors the
+    chain-derived fields of :func:`metrics_to_record` — height, mean
+    block interval, per-miner distribution — plus store-only counts.
+    """
+    timestamps = store.block_timestamps()
+    intervals = [
+        later - earlier for earlier, later in zip(timestamps, timestamps[1:])
+    ]
+    mean_interval = (
+        sum(intervals) / len(intervals) if intervals else float("nan")
+    )
+    return {
+        "chain_height": store.height(),
+        "block_count": store.block_count(),
+        "metadata_count": store.metadata_count(),
+        "tip_hash": store.tip_hash(),
+        "mean_block_interval_s": mean_interval,
+        "blocks_mined": {
+            str(node): count for node, count in sorted(store.miner_distribution().items())
+        },
+        "accounts": len(store.accounts()),
+    }
+
+
+def write_store_chain_json(store, path: PathLike) -> Path:
+    """Write :func:`store_chain_record` as JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(store_chain_record(store), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
 
 
 def write_csv(records: Sequence[Mapping[str, object]], path: PathLike) -> Path:

@@ -1,0 +1,358 @@
+"""SQLite-backed chain and metadata store with an in-memory LRU cache.
+
+The store is the *queryable* half of the persistence subsystem (the
+journal is the durable half): blocks, their packed metadata items, node
+accounts, and per-block storage-allocation assignments land in indexed
+tables, so long-finished runs can be searched ("all AirQuality items
+produced by node 7") without replaying anything.
+
+Blocks are stored twice over, deliberately: the full canonical JSON
+payload (``repro.core.serialization``) — which recomputes and re-verifies
+its hash on read — plus extracted columns (miner, timestamp, hash) for
+indexed queries.  ``verify_integrity`` re-walks the whole store checking
+payload hashes, column consistency, and parent linkage; ``repro inspect``
+exits non-zero when it reports problems.
+
+Reads of hot blocks go through a small LRU cache so a resumed run's
+replay loop and the export paths stay off the disk.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.account import Account
+from repro.core.block import Block
+from repro.core.errors import PersistError, ValidationError
+from repro.core.metadata import MetadataItem
+from repro.core.serialization import (
+    block_from_dict,
+    block_to_dict,
+    metadata_from_dict,
+)
+
+PathLike = Union[str, Path]
+
+#: Bumped on breaking changes to the table layout.
+STORE_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS blocks (
+    idx       INTEGER PRIMARY KEY,
+    hash      TEXT    NOT NULL UNIQUE,
+    miner     INTEGER NOT NULL,
+    timestamp REAL    NOT NULL,
+    payload   TEXT    NOT NULL
+);
+CREATE TABLE IF NOT EXISTS metadata_items (
+    data_id    TEXT    PRIMARY KEY,
+    block_idx  INTEGER NOT NULL,
+    data_type  TEXT    NOT NULL,
+    producer   INTEGER NOT NULL,
+    created_at REAL    NOT NULL,
+    payload    TEXT    NOT NULL
+);
+CREATE INDEX IF NOT EXISTS ix_metadata_type     ON metadata_items(data_type);
+CREATE INDEX IF NOT EXISTS ix_metadata_producer ON metadata_items(producer);
+CREATE TABLE IF NOT EXISTS accounts (
+    node_id    INTEGER PRIMARY KEY,
+    address    TEXT    NOT NULL,
+    public_key TEXT    NOT NULL
+);
+CREATE TABLE IF NOT EXISTS assignments (
+    block_idx INTEGER NOT NULL,
+    node_id   INTEGER NOT NULL,
+    kind      TEXT    NOT NULL
+);
+CREATE UNIQUE INDEX IF NOT EXISTS ix_assignments_unique
+    ON assignments(block_idx, node_id, kind);
+CREATE INDEX IF NOT EXISTS ix_assignments_node ON assignments(node_id);
+"""
+
+#: Assignment kinds recorded per block.
+KIND_BLOCK = "block"  # node persists this block permanently
+KIND_RECENT = "recent"  # node caches this block in its FIFO recent cache
+
+
+class ChainStore:
+    """Durable, queryable store for one run's chain."""
+
+    def __init__(self, path: PathLike, cache_blocks: int = 256):
+        if cache_blocks < 1:
+            raise ValueError("cache must hold at least one block")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._cache: "OrderedDict[int, Block]" = OrderedDict()
+        self._cache_blocks = cache_blocks
+        self.cache_hits = 0
+        self.cache_misses = 0
+        existing = self.get_meta("schema_version")
+        if existing is None:
+            self.set_meta("schema_version", str(STORE_SCHEMA_VERSION))
+        elif int(existing) != STORE_SCHEMA_VERSION:
+            self._conn.close()
+            raise PersistError(
+                f"chain store {self.path} has schema v{existing}, "
+                f"this build reads v{STORE_SCHEMA_VERSION}"
+            )
+
+    # -- meta ------------------------------------------------------------------------
+
+    def get_meta(self, key: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT value FROM store_meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def set_meta(self, key: str, value: str) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO store_meta (key, value) VALUES (?, ?)",
+                (key, value),
+            )
+
+    # -- writes ----------------------------------------------------------------------
+
+    def put_block(self, block: Block) -> None:
+        """Insert (or replace, after a reorg) one block and its satellites."""
+        block_dict = block_to_dict(block)
+        payload = json.dumps(block_dict, sort_keys=True)
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM assignments WHERE block_idx = ?", (block.index,)
+            )
+            self._conn.execute(
+                "DELETE FROM metadata_items WHERE block_idx = ?", (block.index,)
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO blocks "
+                "(idx, hash, miner, timestamp, payload) VALUES (?, ?, ?, ?, ?)",
+                (block.index, block.current_hash, block.miner, block.timestamp, payload),
+            )
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO metadata_items "
+                "(data_id, block_idx, data_type, producer, created_at, payload) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        item.data_id,
+                        block.index,
+                        item.data_type,
+                        item.producer,
+                        item.created_at,
+                        json.dumps(
+                            block_dict["metadata_items"][position], sort_keys=True
+                        ),
+                    )
+                    for position, item in enumerate(block.metadata_items)
+                ],
+            )
+            rows = [
+                (block.index, node, KIND_BLOCK) for node in block.storing_nodes
+            ] + [(block.index, node, KIND_RECENT) for node in block.recent_cache_nodes]
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO assignments (block_idx, node_id, kind) "
+                "VALUES (?, ?, ?)",
+                rows,
+            )
+        self._cache_put(block)
+
+    def put_accounts(self, accounts: Dict[int, Account]) -> None:
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO accounts (node_id, address, public_key) "
+                "VALUES (?, ?, ?)",
+                [
+                    (node_id, account.address, account.public_key.hex())
+                    for node_id, account in accounts.items()
+                ],
+            )
+
+    # -- LRU cache -------------------------------------------------------------------
+
+    def _cache_put(self, block: Block) -> None:
+        self._cache[block.index] = block
+        self._cache.move_to_end(block.index)
+        while len(self._cache) > self._cache_blocks:
+            self._cache.popitem(last=False)
+
+    def _cache_get(self, index: int) -> Optional[Block]:
+        block = self._cache.get(index)
+        if block is not None:
+            self._cache.move_to_end(index)
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        return block
+
+    # -- reads -----------------------------------------------------------------------
+
+    def height(self) -> int:
+        """Highest stored block index (-1 when empty)."""
+        row = self._conn.execute("SELECT MAX(idx) FROM blocks").fetchone()
+        return -1 if row[0] is None else int(row[0])
+
+    def block_count(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM blocks").fetchone()[0])
+
+    def metadata_count(self) -> int:
+        return int(
+            self._conn.execute("SELECT COUNT(*) FROM metadata_items").fetchone()[0]
+        )
+
+    def tip_hash(self) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT hash FROM blocks ORDER BY idx DESC LIMIT 1"
+        ).fetchone()
+        return None if row is None else str(row[0])
+
+    def block_by_index(self, index: int, verify_hash: bool = True) -> Optional[Block]:
+        cached = self._cache_get(index)
+        if cached is not None:
+            return cached
+        row = self._conn.execute(
+            "SELECT payload FROM blocks WHERE idx = ?", (index,)
+        ).fetchone()
+        if row is None:
+            return None
+        block = block_from_dict(json.loads(row[0]), verify_hash=verify_hash)
+        self._cache_put(block)
+        return block
+
+    def block_by_hash(self, block_hash: str) -> Optional[Block]:
+        row = self._conn.execute(
+            "SELECT idx FROM blocks WHERE hash = ?", (block_hash,)
+        ).fetchone()
+        return None if row is None else self.block_by_index(int(row[0]))
+
+    def iter_blocks(self, verify_hashes: bool = False) -> Iterator[Block]:
+        """All blocks in chain order (bypasses the cache)."""
+        for (payload,) in self._conn.execute(
+            "SELECT payload FROM blocks ORDER BY idx"
+        ):
+            yield block_from_dict(json.loads(payload), verify_hash=verify_hashes)
+
+    def block_timestamps(self) -> List[float]:
+        return [
+            float(row[0])
+            for row in self._conn.execute(
+                "SELECT timestamp FROM blocks ORDER BY idx"
+            )
+        ]
+
+    def miner_distribution(self) -> Dict[int, int]:
+        """Blocks mined per node (genesis's miner -1 excluded)."""
+        return {
+            int(row[0]): int(row[1])
+            for row in self._conn.execute(
+                "SELECT miner, COUNT(*) FROM blocks WHERE miner >= 0 GROUP BY miner"
+            )
+        }
+
+    def find_metadata(
+        self,
+        data_type: Optional[str] = None,
+        producer: Optional[int] = None,
+        created_after: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[MetadataItem]:
+        """Indexed metadata search, newest first."""
+        clauses: List[str] = []
+        params: List[object] = []
+        if data_type is not None:
+            clauses.append("data_type LIKE ?")
+            params.append(f"%{data_type}%")
+        if producer is not None:
+            clauses.append("producer = ?")
+            params.append(producer)
+        if created_after is not None:
+            clauses.append("created_at >= ?")
+            params.append(created_after)
+        query = "SELECT payload FROM metadata_items"
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY created_at DESC"
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(limit)
+        return [
+            metadata_from_dict(json.loads(row[0]))
+            for row in self._conn.execute(query, params)
+        ]
+
+    def assignments_of(self, node_id: int) -> List[Tuple[int, str]]:
+        """(block index, kind) assignments recorded for one node."""
+        return [
+            (int(row[0]), str(row[1]))
+            for row in self._conn.execute(
+                "SELECT block_idx, kind FROM assignments WHERE node_id = ? "
+                "ORDER BY block_idx",
+                (node_id,),
+            )
+        ]
+
+    def accounts(self) -> Dict[int, Tuple[str, str]]:
+        """node id → (address, public key hex)."""
+        return {
+            int(row[0]): (str(row[1]), str(row[2]))
+            for row in self._conn.execute(
+                "SELECT node_id, address, public_key FROM accounts"
+            )
+        }
+
+    # -- integrity --------------------------------------------------------------------
+
+    def verify_integrity(self) -> List[str]:
+        """Re-walk the store; returns human-readable problems (empty = ok)."""
+        problems: List[str] = []
+        previous: Optional[Block] = None
+        expected_index = 0
+        for row in self._conn.execute(
+            "SELECT idx, hash, payload FROM blocks ORDER BY idx"
+        ):
+            index, column_hash = int(row[0]), str(row[1])
+            if index != expected_index:
+                problems.append(
+                    f"block index gap: expected {expected_index}, found {index}"
+                )
+                expected_index = index
+            try:
+                block = block_from_dict(json.loads(row[2]), verify_hash=True)
+            except (ValidationError, json.JSONDecodeError) as error:
+                problems.append(f"block {index} payload invalid: {error}")
+                previous, expected_index = None, index + 1
+                continue
+            if block.current_hash != column_hash:
+                problems.append(
+                    f"block {index} hash column does not match its payload"
+                )
+            if block.index != index:
+                problems.append(
+                    f"block stored at idx {index} claims index {block.index}"
+                )
+            if previous is not None and not block.links_to(previous):
+                problems.append(f"block {index} does not link to block {index - 1}")
+            previous = block
+            expected_index = index + 1
+        return problems
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ChainStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

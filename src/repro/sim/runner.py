@@ -3,6 +3,21 @@
 Reproduces the paper's Section VI methodology end to end: Poisson data
 production, 10 %-of-nodes request patterns, periodic mobility epochs,
 optional churn windows, then collects the figure-level metrics.
+
+The runner is split into three phases so the persistence subsystem
+(:mod:`repro.persist`) can checkpoint and resume a run mid-flight:
+
+* :func:`build_runtime` wires the cluster, schedules the whole workload,
+  and returns a :class:`SimRuntime` — a fully *picklable* object graph
+  (no closures or lambdas end up on the event queue, only bound methods
+  of module-level classes), so a snapshot can capture the pending event
+  queue along with all protocol state;
+* ``runtime.engine.run_until(...)`` advances the simulation — in one go,
+  or in resumable segments;
+* :func:`collect_metrics` derives the figure-level :class:`RunMetrics`
+  from a finished runtime.
+
+:func:`run_experiment` composes the three for the common one-shot case.
 """
 
 from __future__ import annotations
@@ -94,8 +109,97 @@ class _RequestDriver:
         node.request_data(data_id)
 
 
-def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    """Build, load, run, and measure one experiment."""
+class _ProductionDriver:
+    """Fires scheduled data productions and fans out the request pattern.
+
+    A module-level class (not a closure) so pending production events on
+    the engine queue pickle cleanly into snapshots.
+    """
+
+    def __init__(
+        self, cluster: EdgeCluster, spec: ExperimentSpec, requests: _RequestDriver
+    ):
+        self.cluster = cluster
+        self.spec = spec
+        self.requests = requests
+
+    def produce(self, event: ProductionEvent) -> None:
+        node = self.cluster.nodes[event.producer]
+        if not node.online:
+            return
+        metadata = node.produce_data(
+            data_type=event.data_type,
+            location=event.location,
+            properties=event.properties,
+        )
+        plan = plan_requests(
+            node_count=self.spec.node_count,
+            producer=event.producer,
+            production_time=self.cluster.engine.now,
+            requester_fraction=self.spec.config.requester_fraction,
+            rng=self.cluster.engine.np_rng,
+        )
+        for requester, when in zip(plan.requesters, plan.times):
+            self.requests.schedule(requester, metadata.data_id, when)
+
+
+class _MobilityDriver:
+    """Periodic mobility epochs, self-rescheduling until the run ends."""
+
+    def __init__(self, cluster: EdgeCluster, period: float, duration: float):
+        self.cluster = cluster
+        self.period = period
+        self.duration = duration
+
+    def start(self) -> None:
+        self.cluster.engine.schedule(self.period, self.tick)
+
+    def tick(self) -> None:
+        self.cluster.advance_mobility_epoch()
+        if self.cluster.engine.now + self.period < self.duration:
+            self.cluster.engine.schedule(self.period, self.tick)
+
+
+class _ReconnectHook:
+    """Picklable churn ``on_up`` callback: restart the node's protocol."""
+
+    def __init__(self, cluster: EdgeCluster):
+        self.cluster = cluster
+
+    def __call__(self, node: int) -> None:
+        self.cluster.nodes[node].on_reconnect()
+
+
+@dataclass
+class SimRuntime:
+    """A fully wired, ready-to-run (and picklable) simulation.
+
+    Everything a run needs — cluster, drivers, and the engine's pending
+    event queue they populate — hangs off this one object, which is what
+    :mod:`repro.persist.snapshot` serialises for crash recovery.
+    """
+
+    spec: ExperimentSpec
+    cluster: EdgeCluster
+    production: _ProductionDriver
+    requests: _RequestDriver
+    mobility: Optional[_MobilityDriver] = None
+    churn: Optional[ChurnInjector] = None
+    #: Attached by repro.persist when the run is durable; pickled with the
+    #: runtime so a restored run keeps journaling from where it left off.
+    persist_task: Optional[object] = None
+
+    @property
+    def engine(self):
+        return self.cluster.engine
+
+    @property
+    def finished(self) -> bool:
+        return self.engine.now >= self.spec.duration_seconds
+
+
+def build_runtime(spec: ExperimentSpec) -> SimRuntime:
+    """Build the cluster, schedule the full workload, and arm mining."""
     cluster = build_cluster(
         spec.node_count, spec.config, seed=spec.seed, node_classes=spec.node_classes
     )
@@ -110,51 +214,26 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         rng=engine.np_rng,
     )
     request_driver = _RequestDriver(cluster)
-
-    def produce(event: ProductionEvent) -> None:
-        node = cluster.nodes[event.producer]
-        if not node.online:
-            return
-        metadata = node.produce_data(
-            data_type=event.data_type,
-            location=event.location,
-            properties=event.properties,
-        )
-        plan = plan_requests(
-            node_count=spec.node_count,
-            producer=event.producer,
-            production_time=engine.now,
-            requester_fraction=spec.config.requester_fraction,
-            rng=engine.np_rng,
-        )
-        for requester, when in zip(plan.requesters, plan.times):
-            request_driver.schedule(requester, metadata.data_id, when)
-
+    production = _ProductionDriver(cluster, spec, request_driver)
     for event in schedule:
-        engine.call_at(event.time, produce, event)
+        engine.call_at(event.time, production.produce, event)
 
     # --- mobility epochs -------------------------------------------------------
+    mobility: Optional[_MobilityDriver] = None
     if spec.mobility_epoch_minutes > 0:
-        period = spec.mobility_epoch_minutes * 60.0
-
-        def mobility_tick() -> None:
-            cluster.advance_mobility_epoch()
-            if engine.now + period < duration:
-                engine.schedule(period, mobility_tick)
-
-        engine.schedule(period, mobility_tick)
+        mobility = _MobilityDriver(
+            cluster, spec.mobility_epoch_minutes * 60.0, duration
+        )
+        mobility.start()
 
     # --- churn -------------------------------------------------------------------
+    injector: Optional[ChurnInjector] = None
     if spec.churn is not None:
         churned_count = int(round(spec.churn.node_fraction * spec.node_count))
         churned_nodes = list(
             engine.np_rng.choice(spec.node_count, size=churned_count, replace=False)
         )
-        injector = ChurnInjector(
-            engine,
-            cluster.network,
-            on_up=lambda node: cluster.nodes[node].on_reconnect(),
-        )
+        injector = ChurnInjector(engine, cluster.network, on_up=_ReconnectHook(cluster))
         injector.plan_random(
             node_ids=[int(n) for n in churned_nodes],
             horizon=duration * 0.9,
@@ -162,11 +241,21 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
             events_per_node=spec.churn.events_per_node,
         )
 
-    # --- run -------------------------------------------------------------------------
     cluster.start()
-    engine.run_until(duration)
+    return SimRuntime(
+        spec=spec,
+        cluster=cluster,
+        production=production,
+        requests=request_driver,
+        mobility=mobility,
+        churn=injector,
+    )
 
-    # --- measure ----------------------------------------------------------------------
+
+def collect_metrics(runtime: SimRuntime) -> RunMetrics:
+    """Derive the figure-level metrics from a finished runtime."""
+    cluster = runtime.cluster
+    duration = runtime.spec.duration_seconds
     reference = cluster.longest_chain_node()
     block_timestamps = [block.timestamp for block in reference.chain.blocks]
     delivery_times: List[float] = []
@@ -184,8 +273,8 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         produced += node.counters.data_produced
         storage_used.append(node.storage.used_slots())
 
-    metrics = collect_run_metrics(
-        node_count=spec.node_count,
+    return collect_run_metrics(
+        node_count=runtime.spec.node_count,
         duration_seconds=duration,
         trace=cluster.network.trace,
         storage_used=storage_used,
@@ -196,4 +285,11 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         recovery_durations=recovery_durations,
         data_items_produced=produced,
     )
-    return ExperimentResult(spec=spec, metrics=metrics, cluster=cluster)
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Build, load, run, and measure one experiment."""
+    runtime = build_runtime(spec)
+    runtime.engine.run_until(spec.duration_seconds)
+    metrics = collect_metrics(runtime)
+    return ExperimentResult(spec=spec, metrics=metrics, cluster=runtime.cluster)

@@ -1,0 +1,220 @@
+"""Unit tests for the SQLite chain store."""
+
+import json
+import sqlite3
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import PAPER_CONFIG
+from repro.core.errors import PersistError
+from repro.metrics.export import store_chain_record
+from repro.persist.chainstore import KIND_BLOCK, KIND_RECENT, ChainStore
+from repro.sim.runner import ExperimentSpec, run_experiment
+
+pytestmark = pytest.mark.persist
+
+
+@pytest.fixture(scope="module")
+def finished_run():
+    """One short real run whose chain exercises every store column."""
+    config = replace(
+        PAPER_CONFIG, simulation_minutes=12.0, data_items_per_minute=2.0
+    )
+    return run_experiment(ExperimentSpec(node_count=5, config=config, seed=11))
+
+
+@pytest.fixture(scope="module")
+def chain(finished_run):
+    return finished_run.cluster.longest_chain_node().chain
+
+
+@pytest.fixture
+def store(tmp_path, finished_run, chain):
+    with ChainStore(tmp_path / "chain.sqlite") as handle:
+        for block in chain.blocks:
+            handle.put_block(block)
+        handle.put_accounts(finished_run.cluster.accounts)
+        yield handle
+
+
+class TestReads:
+    def test_height_and_counts(self, store, chain):
+        assert store.height() == chain.height
+        assert store.block_count() == chain.height + 1
+        assert store.metadata_count() == sum(
+            len(block.metadata_items) for block in chain.blocks
+        )
+        assert store.metadata_count() > 0
+
+    def test_tip_hash(self, store, chain):
+        assert store.tip_hash() == chain.tip.current_hash
+
+    def test_empty_store(self, tmp_path):
+        with ChainStore(tmp_path / "empty.sqlite") as empty:
+            assert empty.height() == -1
+            assert empty.tip_hash() is None
+            assert empty.block_by_index(0) is None
+            assert empty.verify_integrity() == []
+
+    def test_block_round_trip_by_index_and_hash(self, store, chain):
+        for block in chain.blocks:
+            assert store.block_by_index(block.index) == block
+            assert store.block_by_hash(block.current_hash) == block
+        assert store.block_by_hash("no-such-hash") is None
+
+    def test_iter_blocks_in_chain_order(self, store, chain):
+        assert list(store.iter_blocks(verify_hashes=True)) == list(chain.blocks)
+
+    def test_block_timestamps_sorted(self, store, chain):
+        timestamps = store.block_timestamps()
+        assert timestamps == [block.timestamp for block in chain.blocks]
+        assert timestamps == sorted(timestamps)
+
+    def test_miner_distribution_excludes_genesis(self, store, chain):
+        distribution = store.miner_distribution()
+        assert sum(distribution.values()) == chain.height  # genesis excluded
+        assert all(node >= 0 for node in distribution)
+
+    def test_accounts_round_trip(self, store, finished_run):
+        stored = store.accounts()
+        for node_id, account in finished_run.cluster.accounts.items():
+            address, public_key = stored[node_id]
+            assert address == account.address
+            assert public_key == account.public_key.hex()
+
+
+class TestCache:
+    def test_repeated_reads_hit_cache(self, store):
+        store.block_by_index(1)
+        misses = store.cache_misses
+        store.block_by_index(1)
+        store.block_by_index(1)
+        assert store.cache_hits >= 2
+        assert store.cache_misses == misses
+
+    def test_cache_eviction_is_lru(self, tmp_path, chain):
+        with ChainStore(tmp_path / "tiny.sqlite", cache_blocks=2) as tiny:
+            for block in chain.blocks:
+                tiny.put_block(block)
+            tiny.block_by_index(0)  # faults block 0 back in, evicting the LRU
+            hits = tiny.cache_hits
+            tiny.block_by_index(0)
+            assert tiny.cache_hits == hits + 1
+
+    def test_cache_size_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ChainStore(tmp_path / "bad.sqlite", cache_blocks=0)
+
+
+class TestMetadataSearch:
+    def test_find_by_type(self, store, chain):
+        items = store.find_metadata(data_type="Sensor")
+        assert all("Sensor" in item.data_type for item in items)
+        expected = sum(
+            1
+            for block in chain.blocks
+            for item in block.metadata_items
+            if "Sensor" in item.data_type
+        )
+        assert len(items) == expected
+
+    def test_find_by_producer(self, store, chain):
+        producer = next(
+            item.producer
+            for block in chain.blocks
+            for item in block.metadata_items
+        )
+        items = store.find_metadata(producer=producer)
+        assert items and all(item.producer == producer for item in items)
+
+    def test_find_newest_first_with_limit(self, store):
+        items = store.find_metadata(limit=3)
+        assert len(items) <= 3
+        stamps = [item.created_at for item in items]
+        assert stamps == sorted(stamps, reverse=True)
+
+    def test_find_created_after(self, store):
+        items = store.find_metadata(created_after=300.0)
+        assert all(item.created_at >= 300.0 for item in items)
+
+
+class TestAssignments:
+    def test_assignments_match_blocks(self, store, chain):
+        node = chain.blocks[1].storing_nodes[0]
+        kinds = dict()
+        for block_idx, kind in store.assignments_of(node):
+            kinds.setdefault(kind, []).append(block_idx)
+        for idx in kinds.get(KIND_BLOCK, []):
+            assert node in chain.blocks[idx].storing_nodes
+        for idx in kinds.get(KIND_RECENT, []):
+            assert node in chain.blocks[idx].recent_cache_nodes
+
+    def test_put_block_replaces_satellites(self, store, chain):
+        block = chain.blocks[1]
+        store.put_block(block)  # idempotent re-put
+        rows = store.assignments_of(block.storing_nodes[0])
+        assert len([r for r in rows if r[0] == 1 and r[1] == KIND_BLOCK]) == 1
+        assert store.metadata_count() == sum(
+            len(b.metadata_items) for b in chain.blocks
+        )
+
+
+class TestIntegrity:
+    def test_clean_store_verifies(self, store):
+        assert store.verify_integrity() == []
+
+    def _raw(self, store):
+        store.close()
+        return sqlite3.connect(str(store.path))
+
+    def test_payload_tamper_detected(self, store):
+        conn = self._raw(store)
+        payload = json.loads(
+            conn.execute("SELECT payload FROM blocks WHERE idx = 1").fetchone()[0]
+        )
+        payload["miner"] = payload["miner"] + 1
+        conn.execute(
+            "UPDATE blocks SET payload = ? WHERE idx = 1",
+            (json.dumps(payload, sort_keys=True),),
+        )
+        conn.commit()
+        conn.close()
+        with ChainStore(store.path) as reopened:
+            problems = reopened.verify_integrity()
+        assert any("block 1" in problem for problem in problems)
+
+    def test_hash_column_tamper_detected(self, store):
+        conn = self._raw(store)
+        conn.execute("UPDATE blocks SET hash = 'deadbeef' WHERE idx = 2")
+        conn.commit()
+        conn.close()
+        with ChainStore(store.path) as reopened:
+            problems = reopened.verify_integrity()
+        assert any("hash column" in problem for problem in problems)
+
+    def test_missing_block_detected_as_gap(self, store):
+        conn = self._raw(store)
+        conn.execute("DELETE FROM blocks WHERE idx = 1")
+        conn.commit()
+        conn.close()
+        with ChainStore(store.path) as reopened:
+            problems = reopened.verify_integrity()
+        assert any("gap" in problem for problem in problems)
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        with ChainStore(path) as handle:
+            handle.set_meta("schema_version", "999")
+        with pytest.raises(PersistError, match="schema"):
+            ChainStore(path)
+
+
+class TestExportFromStore:
+    def test_store_chain_record_matches_chain(self, store, chain):
+        record = store_chain_record(store)
+        assert record["chain_height"] == chain.height
+        assert record["tip_hash"] == chain.tip.current_hash
+        assert record["accounts"] == 5
+        assert sum(record["blocks_mined"].values()) == chain.height
+        assert record["mean_block_interval_s"] > 0

@@ -10,15 +10,20 @@ Commands:
   unrecoverable corruption.
 * ``fig4`` / ``fig5`` / ``fig6`` — regenerate a paper figure from the
   terminal (the benchmarks do the same under pytest).
+* ``trace summary`` / ``trace export`` / ``trace merge`` — inspect and
+  convert the observability artefacts a ``run --obs DIR`` leaves behind.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.core.config import PAPER_CONFIG
 from repro.core.errors import PersistError
 from repro.metrics.export import metrics_to_record, write_csv, write_json
@@ -89,6 +94,18 @@ def _finish_durable(outcome: PersistentRunResult, label: str) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    session = obs.enable() if args.obs else None
+    try:
+        return _cmd_run_inner(args)
+    finally:
+        if session is not None:
+            target = session.export(args.obs, timebase=args.obs_timebase)
+            obs.disable()
+            print(f"wrote {target / obs.TRACE_NAME} (open in https://ui.perfetto.dev)")
+            print(f"wrote {target / obs.METRICS_NAME}")
+
+
+def _cmd_run_inner(args: argparse.Namespace) -> int:
     config = replace(
         PAPER_CONFIG,
         data_items_per_minute=args.rate,
@@ -275,6 +292,80 @@ def cmd_fig6(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_path(argument: str) -> Path:
+    """Accept either an obs directory or a trace file path."""
+    path = Path(argument)
+    if path.is_dir():
+        return path / obs.TRACE_NAME
+    return path
+
+
+def cmd_trace_summary(args: argparse.Namespace) -> int:
+    trace_file = _trace_path(args.source)
+    if not trace_file.exists():
+        raise SystemExit(f"error: no trace file at {trace_file}")
+    events = obs.read_trace_events(trace_file)
+    rows = [
+        [
+            row["category"],
+            row["name"],
+            row["count"],
+            round(row["wall_ms"], 2),
+            round(row["sim_s"], 1),
+        ]
+        for row in obs.summarize_events(events)[: args.top]
+    ]
+    print()
+    print(
+        render_table(
+            f"Trace summary: {trace_file}",
+            ["category", "span", "count", "wall ms", "sim s"],
+            rows,
+        )
+    )
+    metrics_file = trace_file.parent / obs.METRICS_NAME
+    if metrics_file.exists():
+        snapshot = json.loads(metrics_file.read_text(encoding="utf-8"))
+        counter_rows = [
+            [name, instrument["value"]]
+            for name, instrument in sorted(snapshot.get("instruments", {}).items())
+            if instrument.get("type") == "counter"
+        ]
+        if counter_rows:
+            print()
+            print(render_table("Counters", ["name", "value"], counter_rows))
+    return 0
+
+
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    trace_file = _trace_path(args.source)
+    if not trace_file.exists():
+        raise SystemExit(f"error: no trace file at {trace_file}")
+    events = obs.read_trace_events(trace_file)
+    print(f"wrote {obs.write_strict_json(events, args.out)} ({len(events)} events)")
+    return 0
+
+
+def cmd_trace_merge(args: argparse.Namespace) -> int:
+    snapshots = []
+    for source in args.sources:
+        path = Path(source)
+        if path.is_dir():
+            path = path / obs.METRICS_NAME
+        try:
+            snapshots.append(json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit(f"error: cannot read metrics snapshot {path}: {error}")
+    merged = obs.merge_snapshots(snapshots)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out} ({len(merged['instruments'])} instruments)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -308,6 +399,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-every", type=float, default=600.0, metavar="SECONDS",
         help="simulated seconds between runtime snapshots (default 600)",
     )
+    run.add_argument(
+        "--obs", metavar="DIR",
+        help="enable observability: write a Perfetto trace (trace.jsonl) "
+             "and a metrics snapshot (metrics.json) into DIR",
+    )
+    run.add_argument(
+        "--obs-timebase", choices=["wall", "sim"], default="wall",
+        help="timeline for the exported trace: real (wall) or simulated time",
+    )
     run.set_defaults(func=cmd_run)
 
     resume = sub.add_parser("resume", help="continue a durable run after a stop/crash")
@@ -338,6 +438,32 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument("--json")
     fig5.add_argument("--csv")
     fig5.set_defaults(func=cmd_fig5)
+
+    trace = sub.add_parser(
+        "trace", help="inspect/convert observability artefacts from `run --obs`"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    summary = trace_sub.add_parser(
+        "summary", help="per-subsystem span totals and counters"
+    )
+    summary.add_argument("source", help="obs directory or trace.jsonl path")
+    summary.add_argument("--top", type=int, default=20, help="rows to show")
+    summary.set_defaults(func=cmd_trace_summary)
+
+    export = trace_sub.add_parser(
+        "export", help="convert a trace to a strict Chrome-trace JSON array"
+    )
+    export.add_argument("source", help="obs directory or trace.jsonl path")
+    export.add_argument("--out", required=True, help="output .json path")
+    export.set_defaults(func=cmd_trace_export)
+
+    merge = trace_sub.add_parser(
+        "merge", help="merge metrics snapshots from several runs/shards"
+    )
+    merge.add_argument("sources", nargs="+", help="obs dirs or metrics.json paths")
+    merge.add_argument("--out", required=True, help="merged snapshot path")
+    merge.set_defaults(func=cmd_trace_merge)
 
     fig6 = sub.add_parser("fig6", help="regenerate Fig. 6 (PoW vs PoS battery)")
     fig6.add_argument("--minutes", type=int, default=84)

@@ -26,6 +26,7 @@ from repro.facility.local_search import solve_local_search
 from repro.facility.lp_rounding import solve_lp_rounding
 from repro.facility.problem import UFLProblem, UFLSolution
 from repro.facility.random_baseline import solve_random
+from repro.obs import runtime as _obs
 
 
 @dataclass(frozen=True)
@@ -96,16 +97,33 @@ class AllocationEngine:
         least one replica.  Raises :class:`AllocationError` only when not a
         single node has a free slot.
         """
+        with _obs.span(
+            "facility.place_item", "facility", solver=self.config.placement_solver
+        ) as obs_span:
+            return self._place_item(
+                used_slots, total_slots, hop_matrix, ranges, exclude_nodes, obs_span
+            )
+
+    def _place_item(
+        self, used_slots, total_slots, hop_matrix, ranges, exclude_nodes, obs_span
+    ) -> AllocationDecision:
         problem = self.build_problem(
             used_slots, total_slots, hop_matrix, ranges, exclude_nodes
         )
         if problem.is_feasible():
             solution = self._solve(problem)
-            return AllocationDecision(
+            decision = AllocationDecision(
                 storing_nodes=tuple(solution.open_facilities),
                 total_cost=solution.total_cost(problem),
                 replica_count=solution.replica_count,
             )
+            if _obs.is_enabled():
+                obs_span.set(
+                    replicas=decision.replica_count, cost=decision.total_cost
+                )
+                _obs.add("facility.placements")
+                _obs.observe("facility.replicas_per_item", decision.replica_count)
+            return decision
         # Fallback: any node with capacity, preferring the least loaded.
         candidates = [
             (used / total, node)
@@ -115,6 +133,7 @@ class AllocationEngine:
         if not candidates:
             raise AllocationError("no node has a free storage slot")
         self.fallback_placements += 1
+        _obs.add("facility.fallback_placements")
         _, chosen = min(candidates)
         return AllocationDecision(
             storing_nodes=(chosen,), total_cost=math.inf, replica_count=1

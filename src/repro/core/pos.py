@@ -35,6 +35,7 @@ from fractions import Fraction
 from typing import Iterator, Optional, Tuple
 
 from repro.crypto.hashing import hash_items, hash_to_int
+from repro.obs import runtime as _obs
 
 
 def compute_pos_hash(previous_pos_hash_hex: str, account_address: str) -> str:
@@ -47,7 +48,11 @@ def compute_hit(previous_pos_hash_hex: str, account_address: str, modulus: int) 
     if modulus < 2:
         raise ValueError("modulus must be at least 2")
     digest = bytes.fromhex(compute_pos_hash(previous_pos_hash_hex, account_address))
-    return hash_to_int(digest) % modulus
+    hit = hash_to_int(digest) % modulus
+    if _obs.is_enabled():
+        _obs.add("pos.hits_computed")
+        _obs.observe("pos.hit_value", hit)
+    return hit
 
 
 def compute_amendment(
@@ -88,7 +93,12 @@ def satisfies_target(
     target = (
         Fraction(stake) * Fraction(stored) * Fraction(elapsed) * Fraction(amendment)
     )
-    return Fraction(hit) <= target
+    satisfied = Fraction(hit) <= target
+    if _obs.is_enabled():
+        _obs.add("pos.target_checks")
+        if satisfied:
+            _obs.add("pos.target_hits")
+    return satisfied
 
 
 def mining_delay(hit: int, stake: float, stored: float, amendment: float) -> Optional[int]:
@@ -101,13 +111,21 @@ def mining_delay(hit: int, stake: float, stored: float, amendment: float) -> Opt
     """
     rate = stake * stored * amendment
     if rate <= 0:
+        if _obs.is_enabled():
+            _obs.add("pos.unmineable")
         return None
     if hit <= 0:
-        return 1  # the loop checks at t = 1 first
-    # Exact rational arithmetic: float division of a >2^53 hit can be off by
-    # many ULPs, which would return a second at which Eq. 9 does not hold.
-    exact_rate = Fraction(stake) * Fraction(stored) * Fraction(amendment)
-    return max(1, math.ceil(Fraction(hit) / exact_rate))
+        delay = 1  # the loop checks at t = 1 first
+    else:
+        # Exact rational arithmetic: float division of a >2^53 hit can be
+        # off by many ULPs, which would return a second at which Eq. 9
+        # does not hold.
+        exact_rate = Fraction(stake) * Fraction(stored) * Fraction(amendment)
+        delay = max(1, math.ceil(Fraction(hit) / exact_rate))
+    if _obs.is_enabled():
+        _obs.add("pos.delays_computed")
+        _obs.observe("pos.mining_delay_seconds", delay)
+    return delay
 
 
 def per_second_mining_loop(
@@ -126,6 +144,7 @@ def per_second_mining_loop(
     for t in range(1, max_seconds + 1):
         target = target_value(stake, stored, float(t), amendment)
         satisfied = hit <= target
+        _obs.add("pos.poll_ticks")
         yield t, target, satisfied
         if satisfied:
             return

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.crypto.hashing import hash_items_hex
 from repro.energy.meter import EnergyMeter
+from repro.obs import runtime as _obs
 
 #: Paper's PoW difficulty: leading hex zeros of the block hash.
 PAPER_POW_DIFFICULTY = 4
@@ -72,10 +73,15 @@ def find_pow_nonce(
     Only intended for tests at difficulty ≤ 3 — at the paper's difficulty 4
     use the sampled miner instead.
     """
-    for nonce in range(max_attempts):
-        digest = hash_items_hex("pow", payload, nonce)
-        if hash_meets_difficulty(digest, difficulty):
-            return nonce, nonce + 1
+    with _obs.span("pow.brute_force", "pow", difficulty=difficulty) as obs_span:
+        for nonce in range(max_attempts):
+            digest = hash_items_hex("pow", payload, nonce)
+            if hash_meets_difficulty(digest, difficulty):
+                if _obs.is_enabled():
+                    obs_span.set(attempts=nonce + 1)
+                    _obs.add("pow.attempts", nonce + 1)
+                    _obs.observe("pow.attempts_per_block", nonce + 1)
+                return nonce, nonce + 1
     raise RuntimeError(f"no nonce found within {max_attempts} attempts")
 
 
@@ -116,6 +122,10 @@ class PowMiner:
         attempts = int(rng.geometric(self.success_probability))
         energy = self.meter.charge_pow_hashes(attempts)
         self.blocks_mined += 1
+        if _obs.is_enabled():
+            _obs.add("pow.attempts", attempts)
+            _obs.observe("pow.attempts_per_block", attempts)
+            _obs.observe("pow.energy_joules_per_block", energy)
         return PowBlockResult(
             attempts=attempts,
             duration_seconds=attempts / self.hash_rate,

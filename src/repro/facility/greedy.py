@@ -20,8 +20,10 @@ from typing import List, Optional, Set, Tuple
 import numpy as np
 
 from repro.facility.problem import UFLProblem, UFLSolution, assign_to_open
+from repro.obs.runtime import traced_solver
 
 
+@traced_solver("greedy")
 def solve_greedy(problem: UFLProblem) -> UFLSolution:
     """Solve a UFL instance greedily.
 

@@ -26,6 +26,7 @@ from repro.facility.problem import (
     assign_to_open,
     solution_cost_of_open_set,
 )
+from repro.obs.runtime import traced_solver
 
 #: Relative improvement below which a move is not worth taking (stops
 #: floating-point ping-pong).
@@ -41,6 +42,7 @@ def _initial_open_set(problem: UFLProblem, initial: Optional[Iterable[int]]) -> 
     return set(solve_greedy(problem).open_facilities)
 
 
+@traced_solver("local_search")
 def solve_local_search(
     problem: UFLProblem,
     initial: Optional[Iterable[int]] = None,

@@ -26,6 +26,7 @@ from scipy import sparse
 from scipy.optimize import linprog
 
 from repro.facility.problem import UFLProblem, UFLSolution, assign_to_open
+from repro.obs.runtime import traced_solver
 
 #: Fractional values below this are treated as zero when forming N(j).
 _FRACTIONAL_TOL = 1e-6
@@ -112,6 +113,7 @@ def solve_lp_relaxation(problem: UFLProblem) -> LPResult:
     return LPResult(lower_bound=float(result.fun), y=y, x=x)
 
 
+@traced_solver("lp_rounding")
 def solve_lp_rounding(problem: UFLProblem) -> UFLSolution:
     """LP relaxation followed by deterministic clustering/rounding."""
     lp = solve_lp_relaxation(problem)

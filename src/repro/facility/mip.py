@@ -15,11 +15,13 @@ from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from repro.facility.problem import UFLProblem, UFLSolution, assign_to_open
+from repro.obs.runtime import traced_solver
 
 #: Refuse instances whose variable count exceeds this (keeps tests fast).
 DEFAULT_MAX_VARIABLES = 4000
 
 
+@traced_solver("milp")
 def solve_milp(problem: UFLProblem, max_variables: int = DEFAULT_MAX_VARIABLES) -> UFLSolution:
     """Solve the UFL instance to optimality.
 

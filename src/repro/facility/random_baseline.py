@@ -21,11 +21,13 @@ from repro.facility.problem import (
     assign_to_open,
     solution_cost_of_open_set,
 )
+from repro.obs.runtime import traced_solver
 
 #: Attempts to find a random open set that leaves no client unreachable.
 _MAX_RETRIES = 100
 
 
+@traced_solver("random")
 def solve_random(
     problem: UFLProblem,
     replica_count: int,

@@ -1,0 +1,87 @@
+"""Observability: span tracing, subsystem metrics, Perfetto export.
+
+Zero-dependency instrumentation for the whole simulator (DESIGN.md §8):
+
+* :mod:`repro.obs.tracer` — nested :class:`Span` s keyed on wall time
+  *and* simulated time; :class:`NullTracer` is the disabled default.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of named
+  counters, gauges, and mergeable fixed-bucket log2 histograms.
+* :mod:`repro.obs.export` — Chrome-trace/Perfetto JSONL span export and
+  the per-subsystem summary table.
+* :mod:`repro.obs.runtime` — the process-global on/off switch and the
+  one-branch hook helpers (:func:`span`, :func:`add`, :func:`observe`,
+  :func:`gauge_set`) the hot paths call.
+
+CLI faces: ``repro run --obs DIR`` and the ``repro trace`` verbs.
+"""
+
+from repro.obs.export import (
+    read_trace_events,
+    span_to_event,
+    summarize_events,
+    write_perfetto_jsonl,
+    write_strict_json,
+)
+from repro.obs.metrics import (
+    BUCKET_COUNT,
+    MAX_EXP,
+    MIN_EXP,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_index,
+    bucket_lower_edge,
+    merge_snapshots,
+)
+from repro.obs.runtime import (
+    METRICS_NAME,
+    TRACE_NAME,
+    ObsSession,
+    active_session,
+    add,
+    disable,
+    enable,
+    gauge_set,
+    is_enabled,
+    observe,
+    set_sim_clock,
+    span,
+    traced_solver,
+)
+from repro.obs.tracer import NULL_SPAN, NullTracer, Span, Tracer
+
+__all__ = [
+    "read_trace_events",
+    "span_to_event",
+    "summarize_events",
+    "write_perfetto_jsonl",
+    "write_strict_json",
+    "BUCKET_COUNT",
+    "MAX_EXP",
+    "MIN_EXP",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "bucket_index",
+    "bucket_lower_edge",
+    "merge_snapshots",
+    "METRICS_NAME",
+    "TRACE_NAME",
+    "ObsSession",
+    "active_session",
+    "add",
+    "disable",
+    "enable",
+    "gauge_set",
+    "is_enabled",
+    "observe",
+    "set_sim_clock",
+    "span",
+    "traced_solver",
+    "NULL_SPAN",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]

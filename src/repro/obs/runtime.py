@@ -1,0 +1,170 @@
+"""Process-global observability state and the hot-path hook helpers.
+
+Instrumented code never owns a tracer; it calls the module-level helpers
+here (:func:`span`, :func:`add`, :func:`observe`, :func:`gauge_set`),
+which dispatch to the process-global state.  That keeps the hooks to one
+branch each, keeps tracers out of picklable object graphs (snapshots of a
+durable run must not capture open trace buffers), and means a library
+user can flip observability on around *any* existing entry point:
+
+    from repro import obs
+
+    session = obs.enable(sim_clock=lambda: engine.now)
+    run_experiment(spec)
+    obs.export(session, "obs-out/")
+    obs.disable()
+
+Disabled (the default), :func:`span` returns a shared no-op context
+manager and the metric helpers return immediately — the overhead-guard
+test proves simulation results are bit-identical either way.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from pathlib import Path
+from typing import Any, Callable, Optional, Union
+
+from repro.obs.export import write_perfetto_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NullTracer, Tracer, _NullSpanHandle, _SpanHandle
+
+PathLike = Union[str, Path]
+
+TRACE_NAME = "trace.jsonl"
+METRICS_NAME = "metrics.json"
+
+
+class ObsSession:
+    """One enabled observability window: a tracer plus a registry."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        sim_clock: Optional[Callable[[], float]] = None,
+        max_spans: int = 2_000_000,
+    ):
+        self.tracer = Tracer(sim_clock=sim_clock, max_spans=max_spans)
+        self.metrics = MetricsRegistry()
+
+    def export(self, directory: PathLike, timebase: str = "wall") -> "Path":
+        """Write ``trace.jsonl`` + ``metrics.json`` into ``directory``."""
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        write_perfetto_jsonl(
+            self.tracer.finished, target / TRACE_NAME, timebase=timebase
+        )
+        self.metrics.write_json(target / METRICS_NAME)
+        return target
+
+
+class _Disabled:
+    """Singleton standing in for "no session": enabled is False."""
+
+    enabled = False
+    tracer = NullTracer()
+    metrics = MetricsRegistry()  # writes here are unreachable via helpers
+
+
+_DISABLED = _Disabled()
+
+#: The process-global state every hook reads: either ``_DISABLED`` or a
+#: live :class:`ObsSession`.
+_state: Any = _DISABLED
+
+
+def enable(
+    sim_clock: Optional[Callable[[], float]] = None,
+    max_spans: int = 2_000_000,
+) -> ObsSession:
+    """Turn observability on; returns the live session."""
+    global _state
+    session = ObsSession(sim_clock=sim_clock, max_spans=max_spans)
+    _state = session
+    return session
+
+
+def disable() -> None:
+    """Turn observability off (hooks revert to the null path)."""
+    global _state
+    _state = _DISABLED
+
+
+def is_enabled() -> bool:
+    return _state.enabled
+
+
+def active_session() -> Optional[ObsSession]:
+    """The live session, or None when disabled."""
+    return _state if _state.enabled else None
+
+
+def set_sim_clock(sim_clock: Optional[Callable[[], float]]) -> None:
+    """Attach/detach the simulated-time clock on the live tracer."""
+    if _state.enabled:
+        _state.tracer.sim_clock = sim_clock
+
+
+# -- hot-path hooks -------------------------------------------------------------------
+
+
+def span(
+    name: str, category: str = "", **attrs: Any
+) -> Union[_SpanHandle, _NullSpanHandle]:
+    """Open a span on the live tracer (no-op context manager when off)."""
+    return _state.tracer.span(name, category, **attrs)
+
+
+def add(name: str, amount: int = 1) -> None:
+    """Increment a counter (no-op when off)."""
+    if _state.enabled:
+        _state.metrics.counter(name).inc(amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one histogram observation (no-op when off)."""
+    if _state.enabled:
+        _state.metrics.histogram(name).record(value)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set a gauge (no-op when off)."""
+    if _state.enabled:
+        _state.metrics.gauge(name).set(value)
+
+
+def traced_solver(name: str) -> Callable:
+    """Decorate a UFL solver with a per-solve span (size + cost attributes).
+
+    The wrapped function must take the :class:`~repro.facility.problem.
+    UFLProblem` as its first argument and return a ``UFLSolution``; both
+    are accessed by duck typing so this module stays dependency-free.
+    Disabled, the wrapper is a single branch around the original call.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(problem, *args, **kwargs):
+            state = _state
+            if not state.enabled:
+                return fn(problem, *args, **kwargs)
+            with span(
+                "facility.solve",
+                "facility",
+                solver=name,
+                facilities=problem.num_facilities,
+                clients=problem.num_clients,
+            ) as handle:
+                solution = fn(problem, *args, **kwargs)
+                cost = solution.total_cost(problem)
+                handle.set(cost=cost, replicas=solution.replica_count)
+            state.metrics.counter(f"facility.{name}.solves").inc()
+            if math.isfinite(cost):
+                state.metrics.histogram("facility.solve_cost").record(cost)
+            return solution
+
+        return wrapper
+
+    return decorate

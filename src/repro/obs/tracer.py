@@ -1,0 +1,200 @@
+"""Nested span tracing on two clocks: wall time and simulated time.
+
+A :class:`Span` records where a run spent its time.  Every span carries:
+
+* **wall time** (``time.perf_counter_ns``) — where the *process* spends
+  real time: solver inner loops, SQLite commits, ``os.fsync``;
+* **sim time** (the event engine's clock, when one is attached) — where
+  the *simulated system* spends protocol time: election rounds, block
+  races, recovery windows.
+
+Spans nest: :meth:`Tracer.span` is a context manager, and the tracer
+maintains an explicit stack so each finished span knows its parent.  The
+stack discipline is purely lexical (``with`` blocks), which is exactly how
+the single-threaded event loop executes — there is no cross-event context
+propagation to get wrong.
+
+The disabled path is :class:`NullTracer`: its :meth:`~NullTracer.span`
+returns one shared no-op context manager, so an instrumented hot path
+pays a single dynamic dispatch and no allocation when tracing is off.
+Determinism contract: a tracer only *reads* simulation state (the clock);
+it never touches RNGs or protocol state, so enabling it cannot perturb a
+run — ``tests/integration/test_obs_overhead.py`` proves the digests match.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) span."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    #: Wall clock, integer nanoseconds from ``time.perf_counter_ns``.
+    wall_start_ns: int
+    wall_end_ns: Optional[int] = None
+    #: Simulation clock, seconds; None when no sim clock was attached.
+    sim_start: Optional[float] = None
+    sim_end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_duration_ns(self) -> int:
+        if self.wall_end_ns is None:
+            return 0
+        return self.wall_end_ns - self.wall_start_ns
+
+    @property
+    def sim_duration(self) -> float:
+        if self.sim_start is None or self.sim_end is None:
+            return 0.0
+        return self.sim_end - self.sim_start
+
+
+class _SpanHandle:
+    """Context manager that closes one span on exit.
+
+    Also the write surface for attributes discovered mid-span
+    (``handle.set(cost=4.2)``), e.g. a solver recording its solution cost.
+    """
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    def set(self, **attrs: Any) -> "_SpanHandle":
+        self._span.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._finish(self._span)
+
+
+class _NullSpanHandle:
+    """The shared do-nothing span handle returned while tracing is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpanHandle":
+        return self
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpanHandle()
+
+
+class Tracer:
+    """Collects nested spans; bounded, in-memory, export-ready.
+
+    Parameters
+    ----------
+    sim_clock:
+        Optional zero-argument callable returning the current simulated
+        time in seconds (typically ``lambda: engine.now`` — attached by
+        the runner, never pickled).
+    max_spans:
+        Hard cap on retained finished spans; once reached, further spans
+        are counted (:attr:`dropped_spans`) but not stored, so a very long
+        run cannot exhaust memory.  The cap is generous: an hour-long
+        20-node run emits on the order of 10^5 spans.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sim_clock: Optional[Callable[[], float]] = None,
+        max_spans: int = 2_000_000,
+        wall_clock: Callable[[], int] = time.perf_counter_ns,
+    ):
+        if max_spans < 1:
+            raise ValueError("max_spans must be positive")
+        self.sim_clock = sim_clock
+        self.max_spans = max_spans
+        self._wall_clock = wall_clock
+        self._next_id = 1
+        self._stack: List[Span] = []
+        self.finished: List[Span] = []
+        self.dropped_spans = 0
+
+    def span(self, name: str, category: str = "", **attrs: Any) -> _SpanHandle:
+        """Open a nested span; close it by exiting the returned context."""
+        sim_now = self.sim_clock() if self.sim_clock is not None else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            category=category,
+            wall_start_ns=self._wall_clock(),
+            sim_start=sim_now,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return _SpanHandle(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.wall_end_ns = self._wall_clock()
+        if self.sim_clock is not None:
+            span.sim_end = self.sim_clock()
+        # Close abandoned children too (an exception unwound past them).
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        if len(self.finished) < self.max_spans:
+            self.finished.append(span)
+        else:
+            self.dropped_spans += 1
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (open spans)."""
+        return len(self._stack)
+
+    def clear(self) -> None:
+        self._stack.clear()
+        self.finished.clear()
+        self.dropped_spans = 0
+
+
+class NullTracer:
+    """The disabled tracer: every hook collapses to one cheap call."""
+
+    enabled = False
+    sim_clock = None
+
+    def span(self, name: str, category: str = "", **attrs: Any) -> _NullSpanHandle:
+        return NULL_SPAN
+
+    @property
+    def finished(self) -> List[Span]:
+        return []
+
+    @property
+    def depth(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        return None

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -34,6 +35,7 @@ from repro.core.serialization import (
     block_to_dict,
     metadata_from_dict,
 )
+from repro.obs import runtime as _obs
 
 PathLike = Union[str, Path]
 
@@ -127,6 +129,16 @@ class ChainStore:
 
     def put_block(self, block: Block) -> None:
         """Insert (or replace, after a reorg) one block and its satellites."""
+        if _obs.is_enabled():
+            start = time.perf_counter()
+            with _obs.span("persist.put_block", "persist", index=block.index):
+                self._put_block(block)
+            _obs.add("persist.blocks_stored")
+            _obs.observe("persist.commit_seconds", time.perf_counter() - start)
+        else:
+            self._put_block(block)
+
+    def _put_block(self, block: Block) -> None:
         block_dict = block_to_dict(block)
         payload = json.dumps(block_dict, sort_keys=True)
         with self._conn:

@@ -29,12 +29,14 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.core.errors import PersistError
+from repro.obs import runtime as _obs
 
 PathLike = Union[str, Path]
 
@@ -214,8 +216,12 @@ class RunJournal:
         record = JournalRecord(
             seq=self.next_seq, type=type_, clock=clock, payload=payload
         )
-        self._handle.write(record.encode())
+        encoded = record.encode()
+        self._handle.write(encoded)
         self._handle.flush()
+        if _obs.is_enabled():
+            _obs.add("persist.journal_records")
+            _obs.observe("persist.journal_record_bytes", len(encoded))
         self.next_seq += 1
         self._pending_fsync += 1
         if self._pending_fsync >= self.fsync_every:
@@ -227,7 +233,14 @@ class RunJournal:
         if self._handle is None:
             return
         self._handle.flush()
-        os.fsync(self._handle.fileno())
+        if _obs.is_enabled():
+            start = time.perf_counter()
+            with _obs.span("persist.fsync", "persist"):
+                os.fsync(self._handle.fileno())
+            _obs.add("persist.fsyncs")
+            _obs.observe("persist.fsync_seconds", time.perf_counter() - start)
+        else:
+            os.fsync(self._handle.fileno())
         self._pending_fsync = 0
 
     def close(self) -> None:

@@ -38,6 +38,7 @@ from repro.core.errors import PersistError
 from repro.core.serialization import block_from_dict, block_to_dict
 from repro.metrics.collector import RunMetrics
 from repro.metrics.export import metrics_to_record, store_chain_record
+from repro.obs import runtime as _obs
 from repro.persist.chainstore import ChainStore
 from repro.persist.journal import (
     REC_ALLOC,
@@ -455,7 +456,8 @@ def _advance(
     target = duration
     if stop_after_seconds is not None:
         target = min(duration, runtime.engine.now + stop_after_seconds)
-    runtime.engine.run_until(target)
+    with _obs.span("run.simulate", "run", duration_seconds=duration):
+        runtime.engine.run_until(target)
     if runtime.engine.now >= duration:
         result = _finalize(session, task, runtime)
         return PersistentRunResult(
@@ -527,6 +529,7 @@ def resume_run(
 
         runtime, info, _skipped = load_latest_snapshot(directory)
         if runtime is not None:
+            _obs.set_sim_clock(runtime.engine.clock_reader())
             task = runtime.persist_task
             if not isinstance(task, _PersistTask):
                 raise PersistError(

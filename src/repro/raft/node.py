@@ -28,6 +28,7 @@ from repro.raft.messages import (
     RequestVote,
     RequestVoteReply,
 )
+from repro.obs import runtime as _obs
 from repro.simnet.engine import EventEngine, EventHandle
 from repro.simnet.transport import Network
 
@@ -164,21 +165,25 @@ class RaftNode:
     def _on_election_timeout(self) -> None:
         if self._stopped or self.role is Role.LEADER:
             return
-        self.role = Role.CANDIDATE
-        self.current_term += 1
-        self.voted_for = self.node_id
-        self.leader_id = None
-        self._votes_received = {self.node_id}
-        request = RequestVote(
-            term=self.current_term,
-            candidate_id=self.node_id,
-            last_log_index=self.log.last_index,
-            last_log_term=self.log.last_term,
-        )
-        for peer in self.peers:
-            self._send(peer, request)
-        self._reset_election_timer()
-        self._maybe_win_election()  # single-node cluster wins immediately
+        with _obs.span(
+            "raft.election", "raft", node=self.node_id, term=self.current_term + 1
+        ):
+            _obs.add("raft.elections_started")
+            self.role = Role.CANDIDATE
+            self.current_term += 1
+            self.voted_for = self.node_id
+            self.leader_id = None
+            self._votes_received = {self.node_id}
+            request = RequestVote(
+                term=self.current_term,
+                candidate_id=self.node_id,
+                last_log_index=self.log.last_index,
+                last_log_term=self.log.last_term,
+            )
+            for peer in self.peers:
+                self._send(peer, request)
+            self._reset_election_timer()
+            self._maybe_win_election()  # single-node cluster wins immediately
 
     def _maybe_win_election(self) -> None:
         majority = (len(self.peers) + 1) // 2 + 1
@@ -186,6 +191,7 @@ class RaftNode:
             self._become_leader()
 
     def _become_leader(self) -> None:
+        _obs.add("raft.leaders_elected")
         self.role = Role.LEADER
         self.leader_id = self.node_id
         self.next_index = {peer: self.log.last_index + 1 for peer in self.peers}
@@ -246,6 +252,19 @@ class RaftNode:
             entries=entries,
             leader_commit=self.commit_index,
         )
+        if _obs.is_enabled():
+            _obs.add("raft.append_entries_sent")
+            if entries:
+                with _obs.span(
+                    "raft.replicate",
+                    "raft",
+                    leader=self.node_id,
+                    peer=peer,
+                    entries=len(entries),
+                ):
+                    self._send(peer, message)
+                _obs.observe("raft.entries_per_append", len(entries))
+                return
         self._send(peer, message)
 
     # -- message handling ----------------------------------------------------------------
@@ -426,6 +445,7 @@ class RaftNode:
             self.last_applied += 1
             entry = self.log.entry_at(self.last_applied)
             self._applied_commands.append(entry.command)
+            _obs.add("raft.entries_applied")
             if self.apply_callback is not None:
                 self.apply_callback(self.node_id, self.last_applied, entry.command)
         if (

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 
 from repro.core.config import SystemConfig
 from repro.metrics.collector import RunMetrics, collect_run_metrics
+from repro.obs import runtime as _obs
 from repro.sim.cluster import EdgeCluster, build_cluster
 from repro.simnet.faults import ChurnInjector
 from repro.workloads.generator import ProductionEvent, generate_production_schedule
@@ -200,6 +201,17 @@ class SimRuntime:
 
 def build_runtime(spec: ExperimentSpec) -> SimRuntime:
     """Build the cluster, schedule the full workload, and arm mining."""
+    with _obs.span(
+        "run.build", "run", nodes=spec.node_count, seed=spec.seed
+    ):
+        runtime = _build_runtime(spec)
+    # The tracer (process-global, never pickled) follows the newest
+    # engine's clock so spans carry simulated time too.
+    _obs.set_sim_clock(runtime.engine.clock_reader())
+    return runtime
+
+
+def _build_runtime(spec: ExperimentSpec) -> SimRuntime:
     cluster = build_cluster(
         spec.node_count, spec.config, seed=spec.seed, node_classes=spec.node_classes
     )
@@ -254,6 +266,11 @@ def build_runtime(spec: ExperimentSpec) -> SimRuntime:
 
 def collect_metrics(runtime: SimRuntime) -> RunMetrics:
     """Derive the figure-level metrics from a finished runtime."""
+    with _obs.span("run.collect", "run"):
+        return _collect_metrics(runtime)
+
+
+def _collect_metrics(runtime: SimRuntime) -> RunMetrics:
     cluster = runtime.cluster
     duration = runtime.spec.duration_seconds
     reference = cluster.longest_chain_node()
@@ -290,6 +307,9 @@ def collect_metrics(runtime: SimRuntime) -> RunMetrics:
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     """Build, load, run, and measure one experiment."""
     runtime = build_runtime(spec)
-    runtime.engine.run_until(spec.duration_seconds)
+    with _obs.span(
+        "run.simulate", "run", duration_seconds=spec.duration_seconds
+    ):
+        runtime.engine.run_until(spec.duration_seconds)
     metrics = collect_metrics(runtime)
     return ExperimentResult(spec=spec, metrics=metrics, cluster=runtime.cluster)

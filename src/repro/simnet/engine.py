@@ -26,6 +26,12 @@ from typing import Any, Callable, List, Optional
 
 import numpy as np
 
+from repro.obs import runtime as _obs
+
+
+def _callback_label(callback: Callable[..., None]) -> str:
+    return getattr(callback, "__qualname__", None) or repr(callback)
+
 
 @dataclass(order=True)
 class _Event:
@@ -82,6 +88,14 @@ class EventEngine:
         """Current simulated time in seconds."""
         return self._now
 
+    def clock_reader(self) -> Callable[[], float]:
+        """A zero-argument callable reading this engine's clock.
+
+        Handed to the process-global tracer (never pickled) so spans can
+        carry simulated time alongside wall time.
+        """
+        return lambda: self._now
+
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
@@ -122,7 +136,17 @@ class EventEngine:
             return False
         self._now = event.time
         self.events_processed += 1
-        event.callback(*event.args)
+        if _obs.is_enabled():
+            # Observability reads state only (clock, queue depth) — it can
+            # never perturb the deterministic execution it is watching.
+            with _obs.span(
+                "engine.event", "engine", callback=_callback_label(event.callback)
+            ):
+                event.callback(*event.args)
+            _obs.add("engine.events")
+            _obs.gauge_set("engine.queue_depth", len(self._queue))
+        else:
+            event.callback(*event.args)
         return True
 
     def run(self, max_events: Optional[int] = None) -> None:

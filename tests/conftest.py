@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import tests.helpers as _helpers
 from repro.core.account import Account
 from repro.core.config import SystemConfig
 from repro.simnet.engine import EventEngine
@@ -53,3 +54,32 @@ def fast_config():
         simulation_minutes=5.0,
         recent_cache_capacity=4,
     )
+
+
+@pytest.fixture
+def make_cluster():
+    """Factory fixture: build (and start) a wired simulation cluster.
+
+    Thin injection wrapper over :func:`tests.helpers.make_cluster` — see
+    there for the knobs (``consensus="pow"``, config overrides,
+    ``run_until=...``).
+    """
+    return _helpers.make_cluster
+
+
+@pytest.fixture
+def fixed_seed_run(request):
+    """Factory fixture: a seeded end-to-end run, cached per test module.
+
+    Calls with identical parameters from tests in the same module share
+    one :class:`ExperimentResult` — the replacement for copy-pasted
+    module-scoped run fixtures.  Mutating the shared cluster (advancing
+    its engine) is visible to the module's other tests, exactly like the
+    fixtures it replaces.
+    """
+
+    def _run(*args, **kwargs):
+        kwargs.setdefault("cache_scope", request.module.__name__)
+        return _helpers.fixed_seed_run(*args, **kwargs)
+
+    return _run

@@ -7,20 +7,12 @@ from repro.core.config import SystemConfig
 from repro.sim.runner import ChurnSpec, ExperimentSpec, run_experiment
 
 
-@pytest.fixture(scope="module")
-def small_run():
-    """One shared 10-node 20-minute run (module-scoped: runs take seconds)."""
-    config = SystemConfig(
-        storage_capacity=60,
-        expected_block_interval=30.0,
-        data_items_per_minute=2.0,
-        recent_cache_capacity=5,
+@pytest.fixture
+def small_run(fixed_seed_run):
+    """One shared 10-node 20-minute run (cached per module: runs take seconds)."""
+    return fixed_seed_run(
+        node_count=10, seed=21, duration_minutes=20, mobility_epoch_minutes=5.0
     )
-    spec = ExperimentSpec(
-        node_count=10, config=config, seed=21, duration_minutes=20,
-        mobility_epoch_minutes=5.0,
-    )
-    return run_experiment(spec)
 
 
 class TestChainGrowth:

@@ -1,0 +1,67 @@
+"""Golden-run regression: one seeded experiment pinned bit-for-bit.
+
+The simulator is deterministic end to end, so a fixed-seed run's chain
+digest, ledger digest, and headline metrics are a fingerprint of the whole
+stack — consensus, placement, transport, workload scheduling.  Any change
+that shifts an RNG draw or reorders events shows up here first, with a
+diff of exactly which figures moved.
+
+To refresh after an *intentional* behaviour change:
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/integration/test_golden_run.py
+
+then commit the rewritten ``tests/data/golden_run.json`` alongside the
+change that motivated it.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from tests.helpers import fixed_seed_run
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_run.json"
+
+#: The pinned scenario — small enough to run in a few seconds.
+GOLDEN_SPEC = dict(node_count=8, seed=5, duration_minutes=10.0)
+
+
+def observed_golden() -> dict:
+    result = fixed_seed_run(**GOLDEN_SPEC)
+    chain = result.cluster.longest_chain_node().chain
+    metrics = result.metrics
+    return {
+        "schema": "repro.golden_run/v1",
+        "spec": GOLDEN_SPEC,
+        "chain_digest": chain.chain_digest(),
+        "ledger_digest": chain.state.ledger_digest(),
+        "chain_height": metrics.chain_height(),
+        "blocks_mined": {str(k): v for k, v in sorted(metrics.blocks_mined.items())},
+        "per_node_bytes": list(metrics.per_node_bytes),
+        "category_bytes": dict(sorted(metrics.category_bytes.items())),
+        "storage_used": list(metrics.storage_used),
+        "served_requests": len(metrics.delivery_times),
+        "failed_requests": metrics.failed_requests,
+        "data_items_produced": metrics.data_items_produced,
+        "average_delivery_time": metrics.average_delivery_time(),
+        "mean_block_interval": metrics.mean_block_interval(),
+    }
+
+
+class TestGoldenRun:
+    def test_matches_checked_in_golden(self):
+        observed = observed_golden()
+        if os.environ.get("REPRO_UPDATE_GOLDEN"):
+            GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN_PATH.write_text(json.dumps(observed, indent=2) + "\n")
+            pytest.skip(f"golden file refreshed at {GOLDEN_PATH}")
+        assert GOLDEN_PATH.exists(), (
+            f"missing {GOLDEN_PATH}; generate it with REPRO_UPDATE_GOLDEN=1"
+        )
+        expected = json.loads(GOLDEN_PATH.read_text())
+        # Digests first: the strongest signal, and the clearest failure.
+        assert observed["chain_digest"] == expected["chain_digest"]
+        assert observed["ledger_digest"] == expected["ledger_digest"]
+        assert observed == expected

@@ -15,27 +15,24 @@ import pytest
 
 from repro.core.audit import audit_chain
 from repro.core.blockchain import Blockchain
-from repro.core.config import SystemConfig
-from repro.sim.runner import ExperimentSpec, run_experiment
 
 SEEDS = [0, 1, 2, 3, 4]
 
 
-@pytest.fixture(scope="module")
-def runs():
-    config = SystemConfig(
-        storage_capacity=50,
-        expected_block_interval=20.0,
-        data_items_per_minute=1.5,
-        recent_cache_capacity=4,
-    )
-    results = {}
-    for seed in SEEDS:
-        spec = ExperimentSpec(
-            node_count=8, config=config, seed=seed, duration_minutes=15
+@pytest.fixture
+def runs(fixed_seed_run):
+    return {
+        seed: fixed_seed_run(
+            node_count=8,
+            seed=seed,
+            duration_minutes=15,
+            storage_capacity=50,
+            expected_block_interval=20.0,
+            data_items_per_minute=1.5,
+            recent_cache_capacity=4,
         )
-        results[seed] = run_experiment(spec)
-    return results
+        for seed in SEEDS
+    }
 
 
 @pytest.mark.parametrize("seed", SEEDS)

@@ -14,20 +14,18 @@ entire chain history before it can validate new blocks and mine.
 
 import pytest
 
-from repro.core.config import SystemConfig
-from repro.sim.cluster import build_cluster
-
 
 @pytest.fixture
-def world():
-    config = SystemConfig(
+def world(make_cluster):
+    cluster = make_cluster(
+        8,
+        seed=41,
+        start=False,
         storage_capacity=80,
         expected_block_interval=15.0,
         data_items_per_minute=1.0,
-        recent_cache_capacity=5,
     )
-    cluster = build_cluster(8, config, seed=41)
-    # Node 7 is "Node K": never seen the network.
+    # Node 7 is "Node K": never seen the network (offline before start).
     cluster.network.set_online(7, False)
     cluster.start()
     # Drive a small publication workload from the online nodes.

@@ -1,0 +1,111 @@
+"""The observability determinism contract, end to end.
+
+Two guarantees, both load-bearing:
+
+1. **Zero perturbation** — hooks only *read* simulation state (the clock,
+   queue depths); they never touch RNGs or protocol state.  A seeded run
+   must therefore produce bit-identical chain and ledger digests with
+   observability on, off, or toggled mid-suite.
+2. **Full coverage** — one enabled session watching a simulation run, a
+   Raft scenario, and a durable (journal + SQLite) run sees spans and
+   counters from every instrumented subsystem: engine, facility, pos,
+   raft, and persist.
+"""
+
+import pytest
+
+from repro.obs import runtime as obs
+from repro.obs.export import read_trace_events
+from repro.obs.runtime import METRICS_NAME, TRACE_NAME
+from repro.persist.resume import PersistConfig, run_persistent
+from repro.sim.runner import ExperimentSpec, run_experiment
+from tests.helpers import make_config, make_raft_cluster
+
+pytestmark = pytest.mark.obs
+
+#: The shared small scenario: big enough to mine, place, and serve data.
+SPEC = ExperimentSpec(
+    node_count=6,
+    config=make_config(expected_block_interval=20.0, data_items_per_minute=1.0),
+    seed=13,
+    duration_minutes=6.0,
+)
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled_afterwards():
+    yield
+    obs.disable()
+
+
+def run_digests(spec=SPEC):
+    result = run_experiment(spec)
+    chain = result.cluster.longest_chain_node().chain
+    return chain.chain_digest(), chain.state.ledger_digest()
+
+
+class TestOverheadGuard:
+    def test_digests_identical_with_obs_on_and_off(self):
+        baseline = run_digests()
+        obs.enable()
+        traced = run_digests()
+        session = obs.active_session()
+        obs.disable()
+        again = run_digests()
+
+        assert traced == baseline
+        assert again == baseline
+        # And the traced run actually traced: this guard must never pass
+        # vacuously because instrumentation silently stopped firing.
+        assert len(session.tracer.finished) > 100
+        assert session.metrics.counter("engine.events").value > 0
+
+    def test_repeated_enable_disable_cycles_stay_deterministic(self):
+        baseline = run_digests()
+        for _ in range(2):
+            obs.enable()
+            assert run_digests() == baseline
+            obs.disable()
+            assert run_digests() == baseline
+
+
+class TestFiveSubsystemCoverage:
+    def test_one_session_sees_all_instrumented_subsystems(self, tmp_path):
+        session = obs.enable()
+
+        # Simulation run: engine, facility, pos (and the run phases).
+        run_experiment(SPEC)
+
+        # Raft scenario: elections + replication.
+        engine, _, cluster = make_raft_cluster(size=5, seed=2)
+        cluster.start()
+        assert cluster.wait_for_leader(timeout=30) is not None
+        index = cluster.submit_via_leader({"announce": "range"})
+        cluster.wait_for_commit(index, timeout=30)
+
+        # Durable run: WAL journal fsyncs + SQLite block commits.
+        run_persistent(
+            ExperimentSpec(
+                node_count=5,
+                config=make_config(expected_block_interval=20.0),
+                seed=3,
+                duration_minutes=3.0,
+            ),
+            tmp_path / "durable",
+            persist=PersistConfig(journal_every_seconds=20.0),
+        )
+
+        target = session.export(tmp_path / "obs")
+        obs.disable()
+
+        # Spans: pos is counters/histograms-only (hit computation has no
+        # meaningful extent), every other subsystem contributes spans too.
+        events = read_trace_events(target / TRACE_NAME)
+        categories = {e["cat"] for e in events if e.get("ph") == "X"}
+        assert {"engine", "facility", "raft", "persist", "run"} <= categories
+
+        # Counters/histograms: all five instrumented subsystems.
+        names = session.metrics.names()
+        for prefix in ("engine.", "facility.", "pos.", "raft.", "persist."):
+            assert any(n.startswith(prefix) for n in names), f"no {prefix} metrics"
+        assert (target / METRICS_NAME).exists()

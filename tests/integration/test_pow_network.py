@@ -4,46 +4,26 @@ from dataclasses import replace
 
 import pytest
 
-from repro.core.config import PAPER_CONFIG, SystemConfig
+from repro.core.config import SystemConfig
 from repro.core.pow import pow_difficulty_for
-from repro.sim.cluster import build_cluster
-
-
-def pow_config(node_count, t0=20.0):
-    hash_rate = 16**4 / 25.0
-    return replace(
-        PAPER_CONFIG,
-        consensus="pow",
-        data_items_per_minute=0.0,
-        expected_block_interval=t0,
-        pow_hash_rate=hash_rate,
-        pow_difficulty=pow_difficulty_for(t0, node_count, hash_rate),
-    )
+from tests.helpers import make_cluster, make_pow_config
 
 
 class TestPowNetwork:
     def test_chain_grows_at_tuned_rate(self):
-        config = pow_config(6, t0=20.0)
-        cluster = build_cluster(6, config, seed=9)
-        cluster.start()
-        cluster.engine.run_until(600.0)  # 10 minutes → ~30 blocks expected
+        cluster = make_cluster(6, seed=9, consensus="pow", t0=20.0, run_until=600.0)
+        # 10 minutes at t0=20 s → ~30 blocks expected.
         height = cluster.longest_chain_node().chain.height
         assert 10 <= height <= 70
 
     def test_all_nodes_converge(self):
-        config = pow_config(6)
-        cluster = build_cluster(6, config, seed=9)
-        cluster.start()
-        cluster.engine.run_until(400.0)
+        cluster = make_cluster(6, seed=9, consensus="pow", run_until=400.0)
         cluster.engine.run_until(cluster.engine.now + 30.0)
         tips = {node.chain.tip.current_hash for node in cluster.nodes.values()}
         assert len(tips) == 1
 
     def test_multiple_winners(self):
-        config = pow_config(6)
-        cluster = build_cluster(6, config, seed=9)
-        cluster.start()
-        cluster.engine.run_until(600.0)
+        cluster = make_cluster(6, seed=9, consensus="pow", run_until=600.0)
         winners = {
             block.miner
             for block in cluster.longest_chain_node().chain.blocks[1:]
@@ -53,19 +33,19 @@ class TestPowNetwork:
     def test_pow_burns_more_energy_than_pos(self):
         results = {}
         for consensus in ("pos", "pow"):
-            config = replace(pow_config(6), consensus=consensus)
-            cluster = build_cluster(6, config, seed=9, with_energy_meters=True)
-            cluster.start()
-            cluster.engine.run_until(600.0)
+            config = replace(make_pow_config(6), consensus=consensus)
+            cluster = make_cluster(
+                6, seed=9, config=config, with_energy_meters=True, run_until=600.0
+            )
             results[consensus] = sum(
                 node.meter.total_consumed() for node in cluster.nodes.values()
             )
         assert results["pos"] < 0.5 * results["pow"]
 
     def test_data_workload_runs_under_pow(self):
-        config = replace(pow_config(8), data_items_per_minute=1.0)
-        cluster = build_cluster(8, config, seed=10)
-        cluster.start()
+        cluster = make_cluster(
+            8, seed=10, consensus="pow", data_items_per_minute=1.0
+        )
         item = cluster.nodes[0].produce_data()
         cluster.engine.run_until(300.0)
         chain = cluster.longest_chain_node().chain

@@ -3,23 +3,9 @@
 
 import pytest
 
-from repro.raft.cluster import RaftCluster
 from repro.raft.messages import RAFT_CATEGORY
-from repro.simnet.channel import ChannelModel
-from repro.simnet.engine import EventEngine
 from repro.simnet.faults import PartitionInjector
-from repro.simnet.topology import Position, Topology, connected_random_positions
-from repro.simnet.transport import Network
-
-
-def geometric_cluster(size=5, seed=0):
-    engine = EventEngine(seed=seed)
-    positions = connected_random_positions(size, engine.np_rng)
-    topology = Topology(positions)
-    # Raft over multi-hop radio: give timeouts headroom over path latency.
-    network = Network(engine, topology, ChannelModel(bandwidth=None))
-    cluster = RaftCluster(list(range(size)), network, engine)
-    return engine, network, cluster
+from tests.helpers import make_raft_cluster as geometric_cluster
 
 
 class TestRaftOverGeometricNetwork:

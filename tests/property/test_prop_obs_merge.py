@@ -1,0 +1,73 @@
+"""Merge property: sharded registry snapshots merge to the single-registry
+result.
+
+The contract :func:`repro.obs.metrics.merge_snapshots` documents — merging
+per-shard snapshots equals the snapshot one registry would have produced
+had it seen every observation — stated as a Hypothesis property over
+arbitrary observation streams and arbitrary shardings.  Integer values
+keep counter sums, histogram sums, and extrema exact regardless of which
+shard saw which observation, so the comparison can be equality, not
+approximation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry, bucket_index, merge_snapshots
+
+pytestmark = pytest.mark.obs
+
+#: One observation: (instrument kind, metric name, integer value).  Values
+#: are capped at 2^45 so ≤60 of them sum below 2^53 — exactly representable
+#: in float64, making histogram sums independent of addition order.
+observations = st.lists(
+    st.tuples(
+        st.sampled_from(["counter", "histogram"]),
+        st.sampled_from(["alpha", "beta", "gamma"]),
+        st.integers(min_value=0, max_value=2**45),
+    ),
+    max_size=60,
+)
+
+
+def apply(registry: MetricsRegistry, kind: str, name: str, value: int) -> None:
+    # One namespace per kind: a name may appear as both a counter and a
+    # histogram across draws, which must not collide in one registry.
+    if kind == "counter":
+        registry.counter(f"c.{name}").inc(value)
+    else:
+        registry.histogram(f"h.{name}").record(value)
+
+
+class TestMergeEquivalence:
+    @given(observations, st.integers(min_value=1, max_value=5), st.randoms())
+    @settings(max_examples=60, deadline=None)
+    def test_sharded_merge_equals_single_registry(self, stream, shards, rnd):
+        single = MetricsRegistry()
+        sharded = [MetricsRegistry() for _ in range(shards)]
+        for kind, name, value in stream:
+            apply(single, kind, name, value)
+            apply(sharded[rnd.randrange(shards)], kind, name, value)
+        merged = merge_snapshots([registry.snapshot() for registry in sharded])
+        assert merged["instruments"] == single.snapshot()["instruments"]
+
+    @given(observations)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_with_empty_shard_is_identity(self, stream):
+        registry = MetricsRegistry()
+        for kind, name, value in stream:
+            apply(registry, kind, name, value)
+        snapshot = registry.snapshot()
+        merged = merge_snapshots([snapshot, MetricsRegistry().snapshot()])
+        assert merged["instruments"] == snapshot["instruments"]
+
+    @given(st.integers(min_value=0, max_value=2**70))
+    @settings(max_examples=50, deadline=None)
+    def test_histogram_bucket_totals_survive_merging(self, value):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").record(value)
+        b.histogram("h").record(value)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        buckets = merged["instruments"]["h"]["buckets"]
+        assert buckets == {str(bucket_index(value)): 2}

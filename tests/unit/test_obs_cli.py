@@ -1,0 +1,79 @@
+"""The `repro run --obs` flag and the `repro trace` verbs, end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import read_trace_events
+from repro.obs.runtime import METRICS_NAME, TRACE_NAME
+
+pytestmark = pytest.mark.obs
+
+RUN_ARGS = [
+    "run", "--nodes", "6", "--minutes", "3", "--seed", "11",
+    "--rate", "1.0", "--block-interval", "20",
+]
+
+
+@pytest.fixture(scope="module")
+def obs_dir(tmp_path_factory):
+    """One CLI run with --obs, shared by the verb tests below."""
+    target = tmp_path_factory.mktemp("obs-run")
+    assert main(RUN_ARGS + ["--obs", str(target)]) == 0
+    return target
+
+
+class TestRunWithObs:
+    def test_emits_trace_and_metrics(self, obs_dir):
+        trace_path = obs_dir / TRACE_NAME
+        metrics_path = obs_dir / METRICS_NAME
+        assert trace_path.exists() and metrics_path.exists()
+
+        events = read_trace_events(trace_path)
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert len(complete) > 100
+        assert {"engine", "facility", "run"} <= {e["cat"] for e in complete}
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["schema"] == "repro.obs.metrics/v1"
+        names = set(metrics["instruments"])
+        assert "engine.events" in names
+        assert any(n.startswith("pos.") for n in names)
+        assert any(n.startswith("facility.") for n in names)
+
+    def test_obs_flag_leaves_metrics_record_unchanged(self, tmp_path):
+        plain = tmp_path / "plain.json"
+        observed = tmp_path / "observed.json"
+        assert main(RUN_ARGS + ["--json", str(plain)]) == 0
+        assert main(
+            RUN_ARGS + ["--json", str(observed), "--obs", str(tmp_path / "obs")]
+        ) == 0
+        assert json.loads(plain.read_text()) == json.loads(observed.read_text())
+
+
+class TestTraceVerbs:
+    def test_summary_prints_span_and_counter_tables(self, obs_dir, capsys):
+        assert main(["trace", "summary", str(obs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "engine.event" in out
+        assert "engine.events" in out  # the counters table
+
+    def test_export_writes_strict_json_array(self, obs_dir, tmp_path):
+        out = tmp_path / "strict.json"
+        assert main(["trace", "export", str(obs_dir), "--out", str(out)]) == 0
+        events = json.loads(out.read_text())
+        assert isinstance(events, list)
+        assert any(e.get("ph") == "X" for e in events)
+
+    def test_merge_adds_metrics_across_runs(self, obs_dir, tmp_path):
+        out = tmp_path / "merged.json"
+        assert main([
+            "trace", "merge", str(obs_dir), str(obs_dir), "--out", str(out),
+        ]) == 0
+        merged = json.loads(out.read_text())
+        single = json.loads((obs_dir / METRICS_NAME).read_text())
+        assert (
+            merged["instruments"]["engine.events"]["value"]
+            == 2 * single["instruments"]["engine.events"]["value"]
+        )

@@ -1,0 +1,137 @@
+"""Perfetto/Chrome-trace export: event schema, file shape, round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TRACE_PID,
+    TRACE_TID,
+    read_trace_events,
+    span_to_event,
+    summarize_events,
+    write_perfetto_jsonl,
+    write_strict_json,
+)
+from repro.obs.tracer import Span
+
+pytestmark = pytest.mark.obs
+
+#: Fields the Trace Event Format requires on a complete ("X") event.
+REQUIRED_EVENT_FIELDS = {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"}
+
+
+def make_span(**overrides):
+    base = dict(
+        span_id=1,
+        parent_id=None,
+        name="engine.event",
+        category="engine",
+        wall_start_ns=1_000_000,
+        wall_end_ns=3_500_000,
+        sim_start=10.0,
+        sim_end=10.25,
+        attrs={"callback": "EdgeNode.on_block"},
+    )
+    base.update(overrides)
+    return Span(**base)
+
+
+class TestSpanToEvent:
+    def test_complete_event_schema(self):
+        event = span_to_event(make_span())
+        assert REQUIRED_EVENT_FIELDS <= set(event)
+        assert event["ph"] == "X"
+        assert event["pid"] == TRACE_PID
+        assert event["tid"] == TRACE_TID
+        assert isinstance(event["ts"], float)
+        assert isinstance(event["dur"], float)
+        assert event["dur"] >= 0
+
+    def test_wall_timebase_microseconds(self):
+        event = span_to_event(make_span(), timebase="wall")
+        assert event["ts"] == pytest.approx(1_000.0)  # 1 ms in µs
+        assert event["dur"] == pytest.approx(2_500.0)
+        # The sim interval rides along in args.
+        assert event["args"]["sim_start_s"] == 10.0
+        assert event["args"]["sim_dur_s"] == pytest.approx(0.25)
+
+    def test_sim_timebase_flips_the_axes(self):
+        event = span_to_event(make_span(), timebase="sim")
+        assert event["ts"] == pytest.approx(10.0 * 1e6)
+        assert event["dur"] == pytest.approx(0.25 * 1e6)
+        assert event["args"]["wall_dur_us"] == pytest.approx(2_500.0)
+
+    def test_unknown_timebase_rejected(self):
+        with pytest.raises(ValueError):
+            span_to_event(make_span(), timebase="lunar")
+
+    def test_attrs_and_lineage_in_args(self):
+        event = span_to_event(make_span(span_id=7, parent_id=3))
+        assert event["args"]["span_id"] == 7
+        assert event["args"]["parent_id"] == 3
+        assert event["args"]["callback"] == "EdgeNode.on_block"
+
+    def test_empty_category_becomes_uncategorized(self):
+        event = span_to_event(make_span(category=""))
+        assert event["cat"] == "uncategorized"
+
+
+class TestTraceFile:
+    def test_file_is_jsonl_after_the_opening_bracket(self, tmp_path):
+        spans = [make_span(span_id=i) for i in (1, 2, 3)]
+        path = write_perfetto_jsonl(spans, tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "["
+        # Every subsequent line is one JSON object (trailing comma trimmed).
+        for line in lines[1:]:
+            parsed = json.loads(line.rstrip(","))
+            assert isinstance(parsed, dict)
+
+    def test_first_event_is_process_name_metadata(self, tmp_path):
+        path = write_perfetto_jsonl([make_span()], tmp_path / "trace.jsonl")
+        events = read_trace_events(path)
+        assert events[0]["ph"] == "M"
+        assert events[0]["name"] == "process_name"
+
+    def test_round_trip_preserves_spans(self, tmp_path):
+        spans = [make_span(span_id=i, name=f"s{i}") for i in (1, 2)]
+        path = write_perfetto_jsonl(spans, tmp_path / "trace.jsonl")
+        complete = [e for e in read_trace_events(path) if e["ph"] == "X"]
+        assert [e["name"] for e in complete] == ["s1", "s2"]
+        assert complete == [span_to_event(s) for s in spans]
+
+    def test_strict_json_also_readable(self, tmp_path):
+        events = [span_to_event(make_span())]
+        path = write_strict_json(events, tmp_path / "trace.json")
+        assert json.loads(path.read_text()) == events
+        assert read_trace_events(path) == events
+
+    def test_empty_file_reads_as_no_events(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert read_trace_events(empty) == []
+
+
+class TestSummarize:
+    def test_rows_aggregate_by_category_and_name(self):
+        spans = [
+            make_span(span_id=1, name="solve", category="facility",
+                      wall_start_ns=0, wall_end_ns=4_000_000),
+            make_span(span_id=2, name="solve", category="facility",
+                      wall_start_ns=0, wall_end_ns=2_000_000),
+            make_span(span_id=3, name="fsync", category="persist",
+                      wall_start_ns=0, wall_end_ns=1_000_000),
+        ]
+        rows = summarize_events([span_to_event(s) for s in spans])
+        assert [(r["category"], r["name"], r["count"]) for r in rows] == [
+            ("facility", "solve", 2),
+            ("persist", "fsync", 1),
+        ]
+        assert rows[0]["wall_ms"] == pytest.approx(6.0)
+
+    def test_metadata_events_are_ignored(self, tmp_path):
+        path = write_perfetto_jsonl([make_span()], tmp_path / "trace.jsonl")
+        rows = summarize_events(read_trace_events(path))
+        assert len(rows) == 1
+        assert rows[0]["name"] == "engine.event"

@@ -1,0 +1,162 @@
+"""Span tracer: nesting, dual clocks, bounding, and the null path."""
+
+import pytest
+
+from repro.obs.tracer import NULL_SPAN, NullTracer, Tracer
+
+pytestmark = pytest.mark.obs
+
+
+class FakeWallClock:
+    """Deterministic nanosecond clock: each read advances by ``step_ns``."""
+
+    def __init__(self, step_ns=1000):
+        self.now_ns = 0
+        self.step_ns = step_ns
+
+    def __call__(self):
+        self.now_ns += self.step_ns
+        return self.now_ns
+
+
+def make_tracer(**kwargs):
+    return Tracer(wall_clock=FakeWallClock(), **kwargs)
+
+
+class TestSpanNesting:
+    def test_parent_ids_follow_with_nesting(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner") as inner:
+                    pass
+        assert outer.span.parent_id is None
+        assert middle.span.parent_id == outer.span.span_id
+        assert inner.span.parent_id == middle.span.span_id
+
+    def test_siblings_share_a_parent(self):
+        tracer = make_tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("first") as first:
+                pass
+            with tracer.span("second") as second:
+                pass
+        assert first.span.parent_id == parent.span.span_id
+        assert second.span.parent_id == parent.span.span_id
+
+    def test_finished_order_is_completion_order(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.finished] == ["inner", "outer"]
+
+    def test_span_ids_are_unique_and_increasing(self):
+        tracer = make_tracer()
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        ids = [s.span_id for s in tracer.finished]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_depth_tracks_open_spans(self):
+        tracer = make_tracer()
+        assert tracer.depth == 0
+        with tracer.span("a"):
+            assert tracer.depth == 1
+            with tracer.span("b"):
+                assert tracer.depth == 2
+        assert tracer.depth == 0
+
+    def test_exception_unwinds_abandoned_children(self):
+        tracer = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                # Open a child but never exit its context cleanly.
+                tracer.span("abandoned")
+                raise RuntimeError("boom")
+        # The outer exit popped the abandoned child from the stack.
+        assert tracer.depth == 0
+        with tracer.span("after") as after:
+            pass
+        assert after.span.parent_id is None
+
+
+class TestSpanClocks:
+    def test_wall_duration_positive_and_ordered(self):
+        tracer = make_tracer()
+        with tracer.span("timed") as handle:
+            pass
+        span = handle.span
+        assert span.wall_end_ns > span.wall_start_ns
+        assert span.wall_duration_ns == span.wall_end_ns - span.wall_start_ns
+
+    def test_sim_clock_recorded_when_attached(self):
+        sim_now = {"t": 10.0}
+        tracer = make_tracer(sim_clock=lambda: sim_now["t"])
+        with tracer.span("event") as handle:
+            sim_now["t"] = 12.5
+        assert handle.span.sim_start == 10.0
+        assert handle.span.sim_end == 12.5
+        assert handle.span.sim_duration == 2.5
+
+    def test_no_sim_clock_means_none(self):
+        tracer = make_tracer()
+        with tracer.span("event") as handle:
+            pass
+        assert handle.span.sim_start is None
+        assert handle.span.sim_duration == 0.0
+
+    def test_attrs_at_open_and_mid_span(self):
+        tracer = make_tracer()
+        with tracer.span("solve", "facility", size=8) as handle:
+            handle.set(cost=3.5)
+        assert handle.span.attrs == {"size": 8, "cost": 3.5}
+        assert handle.span.category == "facility"
+
+
+class TestBounding:
+    def test_max_spans_drops_beyond_cap(self):
+        tracer = make_tracer(max_spans=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.finished) == 3
+        assert tracer.dropped_spans == 2
+        assert [s.name for s in tracer.finished] == ["s0", "s1", "s2"]
+
+    def test_max_spans_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_clear_resets_everything(self):
+        tracer = make_tracer(max_spans=1)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        tracer.clear()
+        assert tracer.finished == []
+        assert tracer.dropped_spans == 0
+        assert tracer.depth == 0
+
+
+class TestNullTracer:
+    def test_span_returns_the_shared_null_handle(self):
+        tracer = NullTracer()
+        handle = tracer.span("anything", "cat", attr=1)
+        assert handle is NULL_SPAN
+        assert tracer.span("other") is handle
+
+    def test_null_handle_is_a_context_manager_with_set(self):
+        with NULL_SPAN as handle:
+            assert handle.set(cost=1.0) is handle
+
+    def test_null_tracer_collects_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("x"):
+            pass
+        assert tracer.finished == []
+        assert tracer.depth == 0
+        assert tracer.enabled is False

@@ -17,7 +17,7 @@ from repro.metrics.report import render_table
 from repro.sim.scenarios import PAPER_NODE_COUNTS
 
 
-def test_headline_numbers(benchmark, fig5_sweep, fig4_sweep):
+def test_headline_numbers(benchmark, fig5_sweep, fig4_sweep, headline_sink):
     def compute():
         optimal = np.mean(
             [fig5_sweep[("greedy", n)]["delivery"] for n in PAPER_NODE_COUNTS]
@@ -44,7 +44,23 @@ def test_headline_numbers(benchmark, fig5_sweep, fig4_sweep):
     time_saving, energy_saving, worst_gini = benchmark.pedantic(
         compute, rounds=1, iterations=1
     )
+    sink_path = headline_sink(
+        {
+            "time_saving_percent": time_saving,
+            "energy_saving_percent": energy_saving,
+            "worst_gini": worst_gini,
+            "fig4": {
+                f"n{nodes}-r{rate:g}": cell
+                for (nodes, rate), cell in sorted(fig4_sweep.items())
+            },
+            "fig5": {
+                f"{solver}-n{nodes}": cell
+                for (solver, nodes), cell in sorted(fig5_sweep.items())
+            },
+        }
+    )
     print()
+    print(f"wrote {sink_path}")
     print(
         render_table(
             "Headline claims (paper vs measured)",

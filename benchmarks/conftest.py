@@ -13,6 +13,7 @@ cell's metrics equal an uninterrupted run's.
 
 from __future__ import annotations
 
+import json
 import os
 import shutil
 from pathlib import Path
@@ -32,6 +33,30 @@ from repro.sim.scenarios import (
 
 #: Seeds averaged per cell ("All results are the average of 2 simulations").
 PAPER_SEED_COUNT = 2
+
+#: Where the headline sweep record accumulates the perf trajectory.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_HEADLINE_NAME = "BENCH_headline.json"
+
+
+@pytest.fixture(scope="session")
+def headline_sink():
+    """Writer for the repo-root ``BENCH_headline.json`` record.
+
+    The headline benchmark calls this with its measured numbers plus the
+    full sweep grids; successive commits then carry a comparable perf
+    fingerprint at a fixed path.
+    """
+
+    def write(payload: dict) -> Path:
+        target = REPO_ROOT / BENCH_HEADLINE_NAME
+        record = {"schema": "repro.bench.headline/v1", **payload}
+        with target.open("w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return target
+
+    return write
 
 
 def _cell_metrics(spec, label: str) -> RunMetrics:

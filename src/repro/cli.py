@@ -12,6 +12,10 @@ Commands:
   terminal (the benchmarks do the same under pytest).
 * ``trace summary`` / ``trace export`` / ``trace merge`` — inspect and
   convert the observability artefacts a ``run --obs DIR`` leaves behind.
+* ``report`` — render one observed run's timeline, events, and verdict
+  as a terminal report plus a self-contained HTML page.
+* ``compare`` — diff two observed runs with threshold-based regression
+  verdicts; exits non-zero when the candidate regressed.
 """
 
 from __future__ import annotations
@@ -93,16 +97,40 @@ def _finish_durable(outcome: PersistentRunResult, label: str) -> int:
     return 0
 
 
+def _obs_enable(args: argparse.Namespace, default_interval: float):
+    """Enable observability for a CLI command (None when --obs is absent)."""
+    if not args.obs:
+        return None
+    interval = args.obs_sample if args.obs_sample is not None else default_interval
+    return obs.enable(timeline_interval=interval)
+
+
+def _obs_export(session, args: argparse.Namespace) -> None:
+    target = session.export(args.obs, timebase=args.obs_timebase)
+    obs.disable()
+    print(f"wrote {target / obs.TRACE_NAME} (open in https://ui.perfetto.dev)")
+    print(f"wrote {target / obs.METRICS_NAME}")
+    if session.timeline is not None:
+        print(
+            f"wrote {target / obs.TIMELINE_NAME} "
+            f"({len(session.timeline.samples)} samples)"
+        )
+    if session.monitors is not None:
+        verdict = session.monitors.verdict()
+        print(
+            f"wrote {target / obs.VERDICT_NAME} "
+            f"(verdict: {verdict['status']}, {verdict['alerts']} alert(s))"
+        )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    session = obs.enable() if args.obs else None
+    # Default timeline cadence: one sample per expected block interval.
+    session = _obs_enable(args, default_interval=args.block_interval)
     try:
         return _cmd_run_inner(args)
     finally:
         if session is not None:
-            target = session.export(args.obs, timebase=args.obs_timebase)
-            obs.disable()
-            print(f"wrote {target / obs.TRACE_NAME} (open in https://ui.perfetto.dev)")
-            print(f"wrote {target / obs.METRICS_NAME}")
+            _obs_export(session, args)
 
 
 def _cmd_run_inner(args: argparse.Namespace) -> int:
@@ -146,8 +174,18 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
-    outcome = resume_run(args.directory, stop_after_seconds=args.stop_after)
-    return _finish_durable(outcome, f"Resumed run: {args.directory}")
+    # The paper-default block interval is the sampling fallback; a resumed
+    # run's actual config is only known once the snapshot loads, so pass
+    # --obs-sample to match a non-default --block-interval.
+    session = _obs_enable(
+        args, default_interval=PAPER_CONFIG.expected_block_interval
+    )
+    try:
+        outcome = resume_run(args.directory, stop_after_seconds=args.stop_after)
+        return _finish_durable(outcome, f"Resumed run: {args.directory}")
+    finally:
+        if session is not None:
+            _obs_export(session, args)
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:
@@ -366,6 +404,38 @@ def cmd_trace_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    try:
+        run = obs.load_run(args.directory)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print()
+    print(obs.render_terminal_report(run))
+    if not args.no_html:
+        target = obs.write_html_report(run, args.html)
+        print(f"\nwrote {target}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        result = obs.compare_runs(args.baseline, args.candidate)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print()
+    print(obs.render_comparison(result))
+    if args.json:
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {out}")
+    return 1 if result.regressed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -408,6 +478,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs-timebase", choices=["wall", "sim"], default="wall",
         help="timeline for the exported trace: real (wall) or simulated time",
     )
+    run.add_argument(
+        "--obs-sample", type=float, metavar="SECONDS",
+        help="simulated seconds between protocol-timeline samples "
+             "(default: the expected block interval)",
+    )
     run.set_defaults(func=cmd_run)
 
     resume = sub.add_parser("resume", help="continue a durable run after a stop/crash")
@@ -415,6 +490,20 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument(
         "--stop-after", type=float, metavar="SECONDS",
         help="pause again after this much additional simulated time",
+    )
+    resume.add_argument(
+        "--obs", metavar="DIR",
+        help="enable observability for the resumed segment: trace, metrics, "
+             "protocol timeline, and monitor verdict into DIR",
+    )
+    resume.add_argument(
+        "--obs-timebase", choices=["wall", "sim"], default="wall",
+        help="timeline for the exported trace: real (wall) or simulated time",
+    )
+    resume.add_argument(
+        "--obs-sample", type=float, metavar="SECONDS",
+        help="simulated seconds between protocol-timeline samples "
+             "(default: the paper's expected block interval)",
     )
     resume.set_defaults(func=cmd_resume)
 
@@ -464,6 +553,30 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("sources", nargs="+", help="obs dirs or metrics.json paths")
     merge.add_argument("--out", required=True, help="merged snapshot path")
     merge.set_defaults(func=cmd_trace_merge)
+
+    report = sub.add_parser(
+        "report", help="render one observed run (terminal + self-contained HTML)"
+    )
+    report.add_argument("directory", help="obs directory from `run --obs`")
+    report.add_argument(
+        "--html", metavar="PATH",
+        help="HTML output path (default: DIR/report.html)",
+    )
+    report.add_argument(
+        "--no-html", action="store_true", help="terminal report only"
+    )
+    report.set_defaults(func=cmd_report)
+
+    compare = sub.add_parser(
+        "compare",
+        help="diff two observed runs; exit 1 when the candidate regressed",
+    )
+    compare.add_argument("baseline", help="baseline obs directory")
+    compare.add_argument("candidate", help="candidate obs directory")
+    compare.add_argument(
+        "--json", metavar="PATH", help="also write the comparison as JSON"
+    )
+    compare.set_defaults(func=cmd_compare)
 
     fig6 = sub.add_parser("fig6", help="regenerate Fig. 6 (PoW vs PoS battery)")
     fig6.add_argument("--minutes", type=int, default=84)

@@ -123,6 +123,8 @@ class AllocationEngine:
                 )
                 _obs.add("facility.placements")
                 _obs.observe("facility.replicas_per_item", decision.replica_count)
+                if math.isfinite(decision.total_cost):
+                    _obs.observe("facility.place_cost", decision.total_cost)
             return decision
         # Fallback: any node with capacity, preferring the least loaded.
         candidates = [

@@ -69,7 +69,10 @@ def compute_amendment(
         raise ValueError("expected interval must be positive")
     if mean_u <= 0:
         raise ValueError("mean stake-storage product must be positive")
-    return modulus / ((node_count + 1) * expected_interval * mean_u)
+    amendment = modulus / ((node_count + 1) * expected_interval * mean_u)
+    if _obs.is_enabled():
+        _obs.gauge_set("pos.amendment_b", amendment)
+    return amendment
 
 
 def target_value(stake: float, stored: float, elapsed: float, amendment: float) -> float:

@@ -1,4 +1,10 @@
-"""Summary statistics helpers used by the experiment harness."""
+"""Summary statistics helpers used by the experiment harness.
+
+Percentile/summary math lives in :mod:`repro.obs.metrics` (the
+observability layer's exact helpers); :class:`Summary` is a thin typed
+view over :func:`repro.obs.metrics.summarize` rather than a parallel
+implementation.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +13,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+
+from repro.obs.metrics import summarize
 
 
 @dataclass(frozen=True)
@@ -23,18 +31,15 @@ class Summary:
 
     @classmethod
     def of(cls, values: Sequence[float]) -> "Summary":
-        data = np.asarray(list(values), dtype=float)
-        if data.size == 0:
-            nan = float("nan")
-            return cls(0, nan, nan, nan, nan, nan, nan)
+        stats = summarize(values)
         return cls(
-            count=int(data.size),
-            mean=float(data.mean()),
-            std=float(data.std(ddof=0)),
-            minimum=float(data.min()),
-            median=float(np.median(data)),
-            p95=float(np.percentile(data, 95)),
-            maximum=float(data.max()),
+            count=stats["count"],
+            mean=stats["mean"],
+            std=stats["std"],
+            minimum=stats["min"],
+            median=stats["median"],
+            p95=stats["p95"],
+            maximum=stats["max"],
         )
 
     def __str__(self) -> str:

@@ -11,10 +11,25 @@ Zero-dependency instrumentation for the whole simulator (DESIGN.md §8):
 * :mod:`repro.obs.runtime` — the process-global on/off switch and the
   one-branch hook helpers (:func:`span`, :func:`add`, :func:`observe`,
   :func:`gauge_set`) the hot paths call.
+* :mod:`repro.obs.timeline` — the sim-clock-driven protocol-state
+  sampler (DESIGN.md §9).
+* :mod:`repro.obs.monitors` — online health monitors over the timeline
+  with a machine-readable end-of-run verdict.
+* :mod:`repro.obs.report` / :mod:`repro.obs.diff` — terminal + HTML run
+  reports and threshold-based two-run comparison.
 
-CLI faces: ``repro run --obs DIR`` and the ``repro trace`` verbs.
+CLI faces: ``repro run --obs DIR``, ``repro report DIR``,
+``repro compare DIR_A DIR_B``, and the ``repro trace`` verbs.
 """
 
+from repro.obs.diff import (
+    RULES,
+    Comparison,
+    ComparisonResult,
+    MetricRule,
+    compare_runs,
+    render_comparison,
+)
 from repro.obs.export import (
     read_trace_events,
     span_to_event,
@@ -33,6 +48,32 @@ from repro.obs.metrics import (
     bucket_index,
     bucket_lower_edge,
     merge_snapshots,
+    percentile,
+    summarize,
+)
+from repro.obs.monitors import (
+    EVENTS_NAME,
+    SEVERITIES,
+    VERDICT_NAME,
+    ChainStallMonitor,
+    CoverageMonitor,
+    FairnessMonitor,
+    IntervalDriftMonitor,
+    LeaderFlapMonitor,
+    Monitor,
+    MonitorEvent,
+    MonitorSuite,
+    StakeConcentrationMonitor,
+    read_events,
+    read_verdict,
+    severity_rank,
+)
+from repro.obs.report import (
+    REPORT_NAME,
+    load_run,
+    render_html_report,
+    render_terminal_report,
+    write_html_report,
 )
 from repro.obs.runtime import (
     METRICS_NAME,
@@ -40,6 +81,7 @@ from repro.obs.runtime import (
     ObsSession,
     active_session,
     add,
+    attach_runtime,
     disable,
     enable,
     gauge_set,
@@ -47,7 +89,14 @@ from repro.obs.runtime import (
     observe,
     set_sim_clock,
     span,
+    timeline_tick,
     traced_solver,
+)
+from repro.obs.timeline import (
+    TIMELINE_NAME,
+    RuntimeProbe,
+    Timeline,
+    read_timeline,
 )
 from repro.obs.tracer import NULL_SPAN, NullTracer, Span, Tracer
 
@@ -67,11 +116,14 @@ __all__ = [
     "bucket_index",
     "bucket_lower_edge",
     "merge_snapshots",
+    "percentile",
+    "summarize",
     "METRICS_NAME",
     "TRACE_NAME",
     "ObsSession",
     "active_session",
     "add",
+    "attach_runtime",
     "disable",
     "enable",
     "gauge_set",
@@ -79,9 +131,40 @@ __all__ = [
     "observe",
     "set_sim_clock",
     "span",
+    "timeline_tick",
     "traced_solver",
     "NULL_SPAN",
     "NullTracer",
     "Span",
     "Tracer",
+    "TIMELINE_NAME",
+    "RuntimeProbe",
+    "Timeline",
+    "read_timeline",
+    "EVENTS_NAME",
+    "SEVERITIES",
+    "VERDICT_NAME",
+    "ChainStallMonitor",
+    "CoverageMonitor",
+    "FairnessMonitor",
+    "IntervalDriftMonitor",
+    "LeaderFlapMonitor",
+    "Monitor",
+    "MonitorEvent",
+    "MonitorSuite",
+    "StakeConcentrationMonitor",
+    "read_events",
+    "read_verdict",
+    "severity_rank",
+    "REPORT_NAME",
+    "load_run",
+    "render_html_report",
+    "render_terminal_report",
+    "write_html_report",
+    "RULES",
+    "Comparison",
+    "ComparisonResult",
+    "MetricRule",
+    "compare_runs",
+    "render_comparison",
 ]

@@ -1,0 +1,262 @@
+"""Compare two observed runs and call regressions.
+
+``repro compare DIR_A DIR_B`` treats A as the baseline and B as the
+candidate.  Each timeline series is compared at its *final* sample (the
+end-of-run protocol state) under a direction-aware threshold: "higher is
+better" metrics regress when B ends meaningfully below A, "lower is
+better" the other way, and target-tracking metrics (the interval ratio,
+whose ideal value is 1.0) regress when B ends meaningfully further from
+the target than A.  The end-of-run verdict status regresses whenever B's
+is strictly worse than A's (healthy < warning < critical).
+
+Thresholds combine a relative and an absolute slack — a delta must clear
+``max(rel · |baseline|, abs)`` to count — so identical-seed runs compare
+clean and tiny numerical wiggles don't page anyone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.report import render_table
+from repro.obs.monitors import severity_rank
+from repro.obs.report import load_run
+
+#: Verdict statuses in increasing order of badness.
+_STATUS_ORDER = ("healthy", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class MetricRule:
+    """How one timeline series is judged across runs."""
+
+    key: str
+    #: "higher" | "lower" | "target" (closer to ``target`` is better).
+    direction: str
+    rel_tolerance: float = 0.0
+    abs_tolerance: float = 0.0
+    target: float = 0.0
+
+
+#: The regression ruleset.  Queue depth is deliberately absent — it is a
+#: scheduling detail, not a protocol property.
+RULES = [
+    MetricRule("height", "higher", rel_tolerance=0.05, abs_tolerance=1.0),
+    MetricRule("interval_ratio", "target", target=1.0, abs_tolerance=0.25),
+    MetricRule("fairness_max", "lower", rel_tolerance=0.25, abs_tolerance=0.5),
+    MetricRule("saturated_nodes", "lower", abs_tolerance=0.0),
+    MetricRule("storage_gini", "lower", abs_tolerance=0.05),
+    MetricRule("stake_topk_share", "lower", abs_tolerance=0.1),
+    MetricRule("coverage_recent", "higher", abs_tolerance=0.1),
+]
+
+
+@dataclass
+class Comparison:
+    """One compared quantity."""
+
+    metric: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    delta: Optional[float]
+    regressed: bool
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        def scrub(v: Any) -> Any:
+            if isinstance(v, float) and not math.isfinite(v):
+                return None
+            return v
+
+        return {
+            "metric": self.metric,
+            "baseline": scrub(self.baseline),
+            "candidate": scrub(self.candidate),
+            "delta": scrub(self.delta),
+            "regressed": self.regressed,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ComparisonResult:
+    """Everything ``repro compare`` decides."""
+
+    baseline_dir: str
+    candidate_dir: str
+    comparisons: List[Comparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Comparison]:
+        return [c for c in self.comparisons if c.regressed]
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.regressions)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro.obs.compare/v1",
+            "baseline": self.baseline_dir,
+            "candidate": self.candidate_dir,
+            "regressed": self.regressed,
+            "regressions": len(self.regressions),
+            "comparisons": [c.to_dict() for c in self.comparisons],
+        }
+
+
+def _final_value(samples: List[Dict[str, Any]], key: str) -> Optional[float]:
+    """Last finite value of a series, or None when it has none."""
+    for sample in reversed(samples):
+        value = sample.get(key)
+        if value is not None and math.isfinite(float(value)):
+            return float(value)
+    return None
+
+
+def _badness(rule: MetricRule, value: float) -> float:
+    """A scalar where larger is worse, per the rule's direction."""
+    if rule.direction == "higher":
+        return -value
+    if rule.direction == "lower":
+        return value
+    if rule.direction == "target":
+        return abs(value - rule.target)
+    raise ValueError(f"unknown direction {rule.direction!r}")
+
+
+def _compare_metric(
+    rule: MetricRule,
+    samples_a: List[Dict[str, Any]],
+    samples_b: List[Dict[str, Any]],
+) -> Comparison:
+    baseline = _final_value(samples_a, rule.key)
+    candidate = _final_value(samples_b, rule.key)
+    if baseline is None or candidate is None:
+        return Comparison(
+            metric=rule.key,
+            baseline=baseline,
+            candidate=candidate,
+            delta=None,
+            regressed=False,
+            detail="missing in one run",
+        )
+    worsening = _badness(rule, candidate) - _badness(rule, baseline)
+    slack = max(rule.rel_tolerance * abs(baseline), rule.abs_tolerance)
+    regressed = worsening > slack
+    return Comparison(
+        metric=rule.key,
+        baseline=baseline,
+        candidate=candidate,
+        delta=candidate - baseline,
+        regressed=regressed,
+        detail=(
+            f"worse by {worsening:.4g} (allowed {slack:.4g})"
+            if regressed
+            else "ok"
+        ),
+    )
+
+
+def _compare_verdicts(
+    verdict_a: Optional[Dict[str, Any]], verdict_b: Optional[Dict[str, Any]]
+) -> Optional[Comparison]:
+    if verdict_a is None or verdict_b is None:
+        return None
+    status_a = verdict_a.get("status", "healthy")
+    status_b = verdict_b.get("status", "healthy")
+    rank_a = _STATUS_ORDER.index(status_a)
+    rank_b = _STATUS_ORDER.index(status_b)
+    regressed = rank_b > rank_a
+    return Comparison(
+        metric="verdict",
+        baseline=float(rank_a),
+        candidate=float(rank_b),
+        delta=float(rank_b - rank_a),
+        regressed=regressed,
+        detail=f"{status_a} → {status_b}",
+    )
+
+
+def _compare_alerts(
+    verdict_a: Optional[Dict[str, Any]], verdict_b: Optional[Dict[str, Any]]
+) -> Optional[Comparison]:
+    """New alerting monitors in B that were silent in A are regressions."""
+    if verdict_a is None or verdict_b is None:
+        return None
+
+    def alerting(verdict: Dict[str, Any]) -> Dict[str, str]:
+        return {
+            name: entry["worst"]
+            for name, entry in verdict.get("by_monitor", {}).items()
+            if entry.get("worst") is not None
+        }
+
+    alerts_a = alerting(verdict_a)
+    alerts_b = alerting(verdict_b)
+    new_or_worse = sorted(
+        name
+        for name, worst in alerts_b.items()
+        if name not in alerts_a
+        or severity_rank(worst) > severity_rank(alerts_a[name])
+    )
+    return Comparison(
+        metric="alerting_monitors",
+        baseline=float(len(alerts_a)),
+        candidate=float(len(alerts_b)),
+        delta=float(len(alerts_b) - len(alerts_a)),
+        regressed=bool(new_or_worse),
+        detail=(
+            "new/worse: " + ", ".join(new_or_worse) if new_or_worse else "ok"
+        ),
+    )
+
+
+def compare_runs(baseline_dir: Any, candidate_dir: Any) -> ComparisonResult:
+    """Load and compare two observed runs (baseline first)."""
+    run_a = load_run(baseline_dir)
+    run_b = load_run(candidate_dir)
+    result = ComparisonResult(
+        baseline_dir=str(run_a["directory"]),
+        candidate_dir=str(run_b["directory"]),
+    )
+    for rule in RULES:
+        result.comparisons.append(
+            _compare_metric(rule, run_a["samples"], run_b["samples"])
+        )
+    for extra in (
+        _compare_verdicts(run_a["verdict"], run_b["verdict"]),
+        _compare_alerts(run_a["verdict"], run_b["verdict"]),
+    ):
+        if extra is not None:
+            result.comparisons.append(extra)
+    return result
+
+
+def render_comparison(result: ComparisonResult) -> str:
+    """Terminal rendering of a comparison."""
+    rows = [
+        [
+            c.metric,
+            "-" if c.baseline is None else c.baseline,
+            "-" if c.candidate is None else c.candidate,
+            "-" if c.delta is None else c.delta,
+            "REGRESSED" if c.regressed else "ok",
+            c.detail,
+        ]
+        for c in result.comparisons
+    ]
+    table = render_table(
+        f"compare: {result.baseline_dir} (baseline) vs "
+        f"{result.candidate_dir} (candidate)",
+        ["metric", "baseline", "candidate", "delta", "status", "detail"],
+        rows,
+    )
+    summary = (
+        f"{len(result.regressions)} regression(s) detected"
+        if result.regressed
+        else "no regressions"
+    )
+    return f"{table}\n\n{summary}"

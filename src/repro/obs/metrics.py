@@ -62,6 +62,54 @@ def bucket_lower_edge(index: int) -> float:
     return 2.0 ** (index + MIN_EXP)
 
 
+def percentile(values: Iterable[float], q: float) -> float:
+    """Exact percentile ``q`` ∈ [0, 100] with linear interpolation.
+
+    Matches ``numpy.percentile``'s default (``method="linear"``) so the
+    experiment-harness summaries (:class:`repro.metrics.stats.Summary`)
+    can delegate here instead of keeping a parallel implementation.
+    NaN for an empty sample.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    data = sorted(float(v) for v in values)
+    if not data:
+        return math.nan
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lower = math.floor(rank)
+    upper = min(lower + 1, len(data) - 1)
+    fraction = rank - lower
+    return data[lower] + fraction * (data[upper] - data[lower])
+
+
+def summarize(values: Iterable[float]) -> Dict[str, float]:
+    """Exact five-number-ish summary of a sample (population std).
+
+    The single source of summary math for both the observability layer and
+    the experiment harness.  All fields are NaN when the sample is empty.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        nan = math.nan
+        return {
+            "count": 0, "mean": nan, "std": nan, "min": nan,
+            "median": nan, "p95": nan, "max": nan,
+        }
+    mean = math.fsum(data) / len(data)
+    variance = math.fsum((v - mean) ** 2 for v in data) / len(data)
+    return {
+        "count": len(data),
+        "mean": mean,
+        "std": math.sqrt(variance),
+        "min": min(data),
+        "median": percentile(data, 50.0),
+        "p95": percentile(data, 95.0),
+        "max": max(data),
+    }
+
+
 class Counter:
     """A monotonically increasing count."""
 
@@ -128,6 +176,32 @@ class Histogram:
 
     def mean(self) -> float:
         return self.sum / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile ``q`` ∈ [0, 1] from the log2 buckets.
+
+        Linear interpolation *within* the winning bucket — exact to within
+        one bucket width (a factor of 2), which is all a fixed-edge
+        histogram can promise.  NaN when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return math.nan
+        rank = q * (self.count - 1)
+        seen = 0
+        for index, count in enumerate(self.buckets):
+            if count == 0:
+                continue
+            if seen + count > rank:
+                lower = bucket_lower_edge(index)
+                upper = lower * 2.0
+                within = (rank - seen) / count
+                estimate = lower + within * (upper - lower)
+                # The exact extrema beat any bucket estimate at the ends.
+                return min(max(estimate, self.min), self.max)
+            seen += count
+        return self.max
 
     def merge(self, other: "Histogram") -> None:
         """Fold ``other`` into this histogram (fixed edges make this exact)."""

@@ -28,6 +28,8 @@ from typing import Any, Callable, Optional, Union
 
 from repro.obs.export import write_perfetto_jsonl
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitors import EVENTS_NAME, VERDICT_NAME, MonitorSuite
+from repro.obs.timeline import TIMELINE_NAME, Timeline
 from repro.obs.tracer import NullTracer, Tracer, _NullSpanHandle, _SpanHandle
 
 PathLike = Union[str, Path]
@@ -37,7 +39,8 @@ METRICS_NAME = "metrics.json"
 
 
 class ObsSession:
-    """One enabled observability window: a tracer plus a registry."""
+    """One enabled observability window: tracer, registry, and (optionally)
+    a protocol timeline with its health monitors."""
 
     enabled = True
 
@@ -45,18 +48,45 @@ class ObsSession:
         self,
         sim_clock: Optional[Callable[[], float]] = None,
         max_spans: int = 2_000_000,
+        timeline_interval: Optional[float] = None,
     ):
         self.tracer = Tracer(sim_clock=sim_clock, max_spans=max_spans)
         self.metrics = MetricsRegistry()
+        self.timeline: Optional[Timeline] = (
+            Timeline(timeline_interval, registry=self.metrics)
+            if timeline_interval is not None
+            else None
+        )
+        self.monitors: Optional[MonitorSuite] = None
+
+    def attach_runtime(self, runtime: Any) -> None:
+        """Point the timeline probe (and monitors) at a live runtime.
+
+        Accepts anything with a ``cluster`` attribute (a ``SimRuntime``)
+        or a cluster itself.  No-op when the session has no timeline.
+        """
+        if self.timeline is None:
+            return
+        cluster = getattr(runtime, "cluster", runtime)
+        self.timeline.attach(cluster)
+        if self.monitors is None:
+            self.monitors = MonitorSuite.for_config(cluster.config)
 
     def export(self, directory: PathLike, timebase: str = "wall") -> "Path":
-        """Write ``trace.jsonl`` + ``metrics.json`` into ``directory``."""
+        """Write ``trace.jsonl`` + ``metrics.json`` (and, when the timeline
+        is on, ``timeline.jsonl`` + ``events.jsonl`` + ``verdict.json``)
+        into ``directory``."""
         target = Path(directory)
         target.mkdir(parents=True, exist_ok=True)
         write_perfetto_jsonl(
             self.tracer.finished, target / TRACE_NAME, timebase=timebase
         )
         self.metrics.write_json(target / METRICS_NAME)
+        if self.timeline is not None:
+            self.timeline.write_jsonl(target / TIMELINE_NAME)
+        if self.monitors is not None:
+            self.monitors.write_events(target / EVENTS_NAME)
+            self.monitors.write_verdict(target / VERDICT_NAME)
         return target
 
 
@@ -66,6 +96,8 @@ class _Disabled:
     enabled = False
     tracer = NullTracer()
     metrics = MetricsRegistry()  # writes here are unreachable via helpers
+    timeline = None
+    monitors = None
 
 
 _DISABLED = _Disabled()
@@ -78,10 +110,21 @@ _state: Any = _DISABLED
 def enable(
     sim_clock: Optional[Callable[[], float]] = None,
     max_spans: int = 2_000_000,
+    timeline_interval: Optional[float] = None,
 ) -> ObsSession:
-    """Turn observability on; returns the live session."""
+    """Turn observability on; returns the live session.
+
+    ``timeline_interval`` (simulated seconds) additionally arms the
+    protocol timeline sampler and its health monitors; they start
+    producing data once a runtime attaches (``build_runtime`` and
+    ``resume_run`` do this automatically).
+    """
     global _state
-    session = ObsSession(sim_clock=sim_clock, max_spans=max_spans)
+    session = ObsSession(
+        sim_clock=sim_clock,
+        max_spans=max_spans,
+        timeline_interval=timeline_interval,
+    )
     _state = session
     return session
 
@@ -105,6 +148,28 @@ def set_sim_clock(sim_clock: Optional[Callable[[], float]]) -> None:
     """Attach/detach the simulated-time clock on the live tracer."""
     if _state.enabled:
         _state.tracer.sim_clock = sim_clock
+
+
+def attach_runtime(runtime: Any) -> None:
+    """Point the live session's timeline at a runtime (no-op when off)."""
+    if _state.enabled:
+        _state.attach_runtime(runtime)
+
+
+def timeline_tick(now: float) -> None:
+    """Advance the timeline sampler to simulated time ``now``.
+
+    Called from the engine's (already enabled-gated) observability
+    branch; samples feed straight into the monitor suite.  Reads sim
+    state only — never mutates it or touches the event queue.
+    """
+    state = _state
+    timeline = state.timeline
+    if timeline is None:
+        return
+    sample = timeline.maybe_sample(now)
+    if sample is not None and state.monitors is not None:
+        state.monitors.observe(sample)
 
 
 # -- hot-path hooks -------------------------------------------------------------------

@@ -530,6 +530,7 @@ def resume_run(
         runtime, info, _skipped = load_latest_snapshot(directory)
         if runtime is not None:
             _obs.set_sim_clock(runtime.engine.clock_reader())
+            _obs.attach_runtime(runtime)
             task = runtime.persist_task
             if not isinstance(task, _PersistTask):
                 raise PersistError(

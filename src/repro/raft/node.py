@@ -192,6 +192,11 @@ class RaftNode:
 
     def _become_leader(self) -> None:
         _obs.add("raft.leaders_elected")
+        if self.leader_id != self.node_id:
+            # Leadership actually moved (vs. the same node re-winning after
+            # a term bump) — the signal the leader-flap monitor watches.
+            _obs.add("raft.leader_changes")
+        _obs.gauge_set("raft.term", self.current_term)
         self.role = Role.LEADER
         self.leader_id = self.node_id
         self.next_index = {peer: self.log.last_index + 1 for peer in self.peers}
@@ -278,6 +283,7 @@ class RaftNode:
         """Any RPC with a newer term demotes us (Raft §5.1)."""
         if term > self.current_term:
             self.current_term = term
+            _obs.gauge_set("raft.term", term)
             self.voted_for = None
             if self.role is not Role.FOLLOWER:
                 self.role = Role.FOLLOWER

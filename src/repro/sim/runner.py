@@ -206,8 +206,10 @@ def build_runtime(spec: ExperimentSpec) -> SimRuntime:
     ):
         runtime = _build_runtime(spec)
     # The tracer (process-global, never pickled) follows the newest
-    # engine's clock so spans carry simulated time too.
+    # engine's clock so spans carry simulated time too; the timeline
+    # probe, if armed, follows the newest cluster.
     _obs.set_sim_clock(runtime.engine.clock_reader())
+    _obs.attach_runtime(runtime)
     return runtime
 
 

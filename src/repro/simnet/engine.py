@@ -88,6 +88,11 @@ class EventEngine:
         """Current simulated time in seconds."""
         return self._now
 
+    @property
+    def queue_depth(self) -> int:
+        """Number of queued events (live and cancelled-but-unpopped)."""
+        return len(self._queue)
+
     def clock_reader(self) -> Callable[[], float]:
         """A zero-argument callable reading this engine's clock.
 
@@ -145,6 +150,7 @@ class EventEngine:
                 event.callback(*event.args)
             _obs.add("engine.events")
             _obs.gauge_set("engine.queue_depth", len(self._queue))
+            _obs.timeline_tick(self._now)
         else:
             event.callback(*event.args)
         return True

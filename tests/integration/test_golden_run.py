@@ -20,6 +20,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from tests.helpers import fixed_seed_run
 
 GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_run.json"
@@ -27,14 +28,28 @@ GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_run.json
 #: The pinned scenario — small enough to run in a few seconds.
 GOLDEN_SPEC = dict(node_count=8, seed=5, duration_minutes=10.0)
 
+#: Timeline cadence for the pinned monitor verdict (= make_config's t0).
+GOLDEN_SAMPLE_SECONDS = 30.0
+
 
 def observed_golden() -> dict:
-    result = fixed_seed_run(**GOLDEN_SPEC)
+    # Observability is non-perturbing (the overhead guard proves digests
+    # are identical on/off), so the golden run doubles as the pinned
+    # end-of-run monitor verdict.
+    session = obs.enable(timeline_interval=GOLDEN_SAMPLE_SECONDS)
+    try:
+        result = fixed_seed_run(**GOLDEN_SPEC)
+        verdict = (
+            session.monitors.verdict() if session.monitors is not None else None
+        )
+    finally:
+        obs.disable()
     chain = result.cluster.longest_chain_node().chain
     metrics = result.metrics
     return {
         "schema": "repro.golden_run/v1",
         "spec": GOLDEN_SPEC,
+        "monitor_verdict": verdict,
         "chain_digest": chain.chain_digest(),
         "ledger_digest": chain.state.ledger_digest(),
         "chain_height": metrics.chain_height(),

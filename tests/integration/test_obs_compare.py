@@ -1,0 +1,108 @@
+"""`repro compare` acceptance: clean on identical seeds, loud on faults.
+
+Two observed runs with the same seed must compare with zero regressions
+(determinism means their timelines are byte-equal); a run with an
+injected outage must trip at least one monitor and make the comparison
+exit non-zero.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import runtime as obs
+from repro.obs.diff import compare_runs
+from repro.obs.monitors import EVENTS_NAME, VERDICT_NAME, read_events, read_verdict
+from repro.obs.timeline import TIMELINE_NAME, read_timeline
+from repro.sim.runner import ExperimentSpec, build_runtime
+from repro.simnet.faults import ChurnEvent, ChurnInjector
+from tests.helpers import make_config
+
+pytestmark = pytest.mark.obs
+
+SPEC = ExperimentSpec(
+    node_count=6,
+    config=make_config(expected_block_interval=20.0, data_items_per_minute=1.0),
+    seed=13,
+    duration_minutes=6.0,
+)
+
+#: Outage window for the fault run: every node offline for 230 s, far past
+#: the chain-stall threshold of 5·t0 = 100 s.
+OUTAGE = (100.0, 330.0)
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled_afterwards():
+    yield
+    obs.disable()
+
+
+def observed_run(directory, fault: bool = False):
+    """One observed seeded run exported to ``directory``."""
+    session = obs.enable(timeline_interval=10.0)
+    try:
+        runtime = build_runtime(SPEC)
+        if fault:
+            injector = ChurnInjector(runtime.engine, runtime.cluster.network)
+            down_at, up_at = OUTAGE
+            for node in runtime.cluster.node_ids:
+                injector.plan(ChurnEvent(node=node, down_at=down_at, up_at=up_at))
+        runtime.engine.run_until(SPEC.duration_seconds)
+        session.export(directory)
+    finally:
+        obs.disable()
+    return directory
+
+
+class TestIdenticalSeeds:
+    def test_zero_regressions_and_exit_zero(self, tmp_path):
+        a = observed_run(tmp_path / "a")
+        b = observed_run(tmp_path / "b")
+
+        # Determinism makes the two timelines byte-equal.
+        assert read_timeline(a / TIMELINE_NAME) == read_timeline(b / TIMELINE_NAME)
+
+        result = compare_runs(a, b)
+        assert not result.regressed
+        assert result.regressions == []
+        assert main(["compare", str(a), str(b)]) == 0
+
+
+class TestFaultInjection:
+    def test_outage_trips_monitor_and_compare_exits_nonzero(self, tmp_path):
+        baseline = observed_run(tmp_path / "baseline")
+        faulted = observed_run(tmp_path / "faulted", fault=True)
+
+        verdict = read_verdict(faulted / VERDICT_NAME)
+        assert verdict["status"] == "critical"
+        events = read_events(faulted / EVENTS_NAME)
+        assert any(
+            e["monitor"] == "chain-stall" and e["severity"] == "critical"
+            for e in events
+        )
+
+        result = compare_runs(baseline, faulted)
+        assert result.regressed
+        regressed_metrics = {c.metric for c in result.regressions}
+        assert "verdict" in regressed_metrics
+        assert main(["compare", str(baseline), str(faulted)]) == 1
+
+    def test_compare_is_direction_aware(self, tmp_path):
+        """The *fault* run as baseline: the healthy run's higher chain and
+        healthier verdict are improvements, not regressions.  (The alert-mix
+        check may still flag a differently-alerting monitor — here the
+        healthy run's own coverage warning — but no metric rule and not the
+        verdict itself may regress.)"""
+        baseline = observed_run(tmp_path / "faulted", fault=True)
+        candidate = observed_run(tmp_path / "healthy")
+        result = compare_runs(baseline, candidate)
+        by_metric = {c.metric: c for c in result.comparisons}
+        assert by_metric["height"].candidate > by_metric["height"].baseline
+        assert not by_metric["height"].regressed
+        assert not by_metric["verdict"].regressed
+
+
+class TestCompareCli:
+    def test_missing_directory_exits_two(self, tmp_path, capsys):
+        assert main(["compare", str(tmp_path / "nope"), str(tmp_path / "nada")]) == 2
+        assert "not found" in capsys.readouterr().err

@@ -60,6 +60,20 @@ class TestOverheadGuard:
         assert len(session.tracer.finished) > 100
         assert session.metrics.counter("engine.events").value > 0
 
+    def test_digests_identical_with_timeline_and_monitors_on(self):
+        """The PR-3 semantic layer is as non-perturbing as the raw hooks."""
+        baseline = run_digests()
+        session = obs.enable(timeline_interval=10.0)
+        traced = run_digests()
+        obs.disable()
+
+        assert traced == baseline
+        # The timeline really sampled and the monitors really watched.
+        assert len(session.timeline.samples) > 10
+        assert session.monitors is not None
+        verdict = session.monitors.verdict()
+        assert verdict["status"] in ("healthy", "warning", "critical")
+
     def test_repeated_enable_disable_cycles_stay_deterministic(self):
         baseline = run_digests()
         for _ in range(2):

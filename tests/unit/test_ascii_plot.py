@@ -32,6 +32,19 @@ class TestSparkline:
     def test_all_nan(self):
         assert sparkline([float("nan")] * 3) == "   "
 
+    def test_single_point_renders_mid_level(self):
+        line = sparkline([42.0])
+        assert len(line) == 1
+        assert line in "▁▂▃▄▅▆▇█"
+
+    def test_single_nan(self):
+        assert sparkline([float("nan")]) == " "
+
+    def test_infinity_treated_as_missing(self):
+        line = sparkline([1.0, float("inf"), 2.0])
+        assert line[1] == " "
+        assert line[0] != " " and line[2] != " "
+
 
 class TestBarChart:
     def test_bars_scale_to_peak(self):
@@ -67,6 +80,16 @@ class TestBarChart:
         chart = bar_chart(["a", "b"], [0.0, 0.0])
         assert "█" not in chart
 
+    def test_single_bar_fills_the_width(self):
+        chart = bar_chart(["only"], [2.5], width=8)
+        assert chart.count("█") == 8
+
+    def test_nan_value_gets_empty_bar(self):
+        chart = bar_chart(["a", "b"], [float("nan"), 4.0], width=8)
+        lines = chart.splitlines()
+        assert "█" not in lines[0] and "nan" in lines[0]
+        assert lines[1].count("█") == 8
+
 
 class TestSeriesPlot:
     def test_one_line_per_series(self):
@@ -88,3 +111,21 @@ class TestSeriesPlot:
     def test_mismatched_names(self):
         with pytest.raises(ValueError):
             series_plot([0], [[1.0]], ["a", "b"])
+
+    def test_no_series_no_labels_is_empty(self):
+        assert series_plot([], [], []) == ""
+
+    def test_single_point_series(self):
+        plot = series_plot([7], [[3.0]], ["lone"])
+        assert "lone" in plot
+        assert "[3 → 3]" in plot
+        assert "x: 7 … 7" in plot
+
+    def test_empty_series_is_skipped_but_caption_remains(self):
+        plot = series_plot([0, 1], [[]], ["empty"])
+        assert "empty" not in plot
+        assert "x: 0 … 1" in plot
+
+    def test_nan_only_series_renders_blank_sparkline(self):
+        plot = series_plot([0, 1], [[math.nan, math.nan]], ["gone"])
+        assert "gone" in plot  # present, just blank glyphs

@@ -72,6 +72,22 @@ class TestStats:
     def test_summary_str(self):
         assert "mean=" in str(Summary.of([1.0]))
 
+    def test_summary_delegates_to_obs_summarize(self):
+        # Summary.of and the obs-layer helper must be the same math —
+        # reports computed either way have to agree.
+        from repro.obs.metrics import percentile, summarize
+
+        values = [5.0, 1.0, 4.0, 2.0, 8.0, 3.0]
+        summary = Summary.of(values)
+        stats = summarize(values)
+        assert summary.count == stats["count"]
+        assert summary.mean == pytest.approx(stats["mean"])
+        assert summary.std == pytest.approx(stats["std"])
+        assert summary.median == pytest.approx(stats["median"])
+        assert summary.p95 == pytest.approx(stats["p95"])
+        assert summary.p95 == pytest.approx(percentile(values, 95.0))
+        assert (summary.minimum, summary.maximum) == (stats["min"], stats["max"])
+
     def test_mean_or_nan(self):
         assert mean_or_nan([2, 4]) == 3.0
         assert math.isnan(mean_or_nan([]))

@@ -1,0 +1,272 @@
+"""Unit tests for run reports (terminal + HTML) and the run comparator."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.diff import (
+    RULES,
+    MetricRule,
+    _badness,
+    _compare_alerts,
+    _compare_metric,
+    _compare_verdicts,
+    _final_value,
+    compare_runs,
+    render_comparison,
+)
+from repro.obs.report import (
+    REPORT_NAME,
+    _svg_line_chart,
+    load_run,
+    render_html_report,
+    render_terminal_report,
+    write_html_report,
+)
+from repro.obs.timeline import Timeline
+
+pytestmark = pytest.mark.obs
+
+
+def healthy_samples(count=6, height_step=1):
+    return [
+        {
+            "t": 30.0 * i,
+            "height": height_step * i,
+            "interval_ewma": 30.0,
+            "interval_ratio": 1.0,
+            "intervals_seen": i,
+            "fairness_max": 0.5 + 0.05 * i,
+            "fairness_margin_min": 40.0,
+            "saturated_nodes": 0,
+            "storage_gini": 0.1,
+            "stake_topk_share": 0.5,
+            "coverage_recent": 0.9,
+            "queue_depth": 3,
+        }
+        for i in range(count)
+    ]
+
+
+def write_run(directory, samples, events=None, verdict=None):
+    """Materialise an obs directory from synthetic data."""
+    directory.mkdir(parents=True, exist_ok=True)
+    timeline = Timeline(30.0)
+    timeline.samples = list(samples)
+    timeline.write_jsonl(directory / "timeline.jsonl")
+    if events is not None:
+        with (directory / "events.jsonl").open("w") as handle:
+            handle.write(json.dumps({"schema": "repro.obs.events/v1"}) + "\n")
+            for event in events:
+                handle.write(json.dumps(event) + "\n")
+    if verdict is not None:
+        (directory / "verdict.json").write_text(json.dumps(verdict))
+    return directory
+
+
+HEALTHY_VERDICT = {
+    "schema": "repro.obs.verdict/v1",
+    "status": "healthy",
+    "alerts": 0,
+    "events_total": 0,
+    "degraded_now": [],
+    "by_monitor": {"chain-stall": {"events": 0, "worst": None, "current_level": "ok"}},
+}
+
+CRITICAL_VERDICT = {
+    "schema": "repro.obs.verdict/v1",
+    "status": "critical",
+    "alerts": 1,
+    "events_total": 1,
+    "degraded_now": ["chain-stall"],
+    "by_monitor": {
+        "chain-stall": {"events": 1, "worst": "critical", "current_level": "critical"}
+    },
+}
+
+STALL_EVENT = {
+    "time": 150.0,
+    "monitor": "chain-stall",
+    "severity": "critical",
+    "message": "chain stalled at height 2 for 150s",
+    "value": 150.0,
+    "threshold": 100.0,
+}
+
+
+class TestLoadRun:
+    def test_missing_timeline_raises_with_hint(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="--obs"):
+            load_run(tmp_path)
+
+    def test_events_and_verdict_are_optional(self, tmp_path):
+        write_run(tmp_path / "run", healthy_samples())
+        run = load_run(tmp_path / "run")
+        assert len(run["samples"]) == 6
+        assert run["events"] is None and run["verdict"] is None
+
+    def test_full_directory_loads_everything(self, tmp_path):
+        write_run(
+            tmp_path / "run", healthy_samples(),
+            events=[STALL_EVENT], verdict=CRITICAL_VERDICT,
+        )
+        run = load_run(tmp_path / "run")
+        assert run["header"]["schema"] == "repro.obs.timeline/v1"
+        assert run["events"] == [STALL_EVENT]
+        assert run["verdict"]["status"] == "critical"
+
+
+class TestTerminalReport:
+    def test_full_report_sections(self, tmp_path):
+        write_run(
+            tmp_path / "run", healthy_samples(),
+            events=[STALL_EVENT], verdict=CRITICAL_VERDICT,
+        )
+        text = render_terminal_report(load_run(tmp_path / "run"))
+        assert "verdict: CRITICAL" in text
+        assert "chain-stall" in text
+        assert "chain stalled at height 2" in text
+        assert "chain height" in text        # the sparkline table caption
+        assert "series statistics" in text
+        assert "6 samples" in text
+
+    def test_empty_timeline_degrades_gracefully(self, tmp_path):
+        write_run(tmp_path / "run", [])
+        text = render_terminal_report(load_run(tmp_path / "run"))
+        assert "no samples recorded" in text
+
+
+class TestHtmlReport:
+    def test_self_contained_page(self, tmp_path):
+        write_run(
+            tmp_path / "run", healthy_samples(),
+            events=[STALL_EVENT], verdict=CRITICAL_VERDICT,
+        )
+        page = render_html_report(load_run(tmp_path / "run"))
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<polyline" in page       # inline SVG charts
+        assert "CRITICAL" in page
+        assert "src=" not in page        # no external assets
+
+    def test_event_messages_are_escaped(self, tmp_path):
+        hostile = dict(STALL_EVENT, message="<script>alert(1)</script>")
+        write_run(tmp_path / "run", healthy_samples(), events=[hostile])
+        page = render_html_report(load_run(tmp_path / "run"))
+        assert "<script>alert" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_write_defaults_next_to_inputs(self, tmp_path):
+        run_dir = write_run(tmp_path / "run", healthy_samples())
+        target = write_html_report(load_run(run_dir))
+        assert target == run_dir / REPORT_NAME
+        assert target.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestSvgLineChart:
+    def test_empty_series_renders_nothing(self):
+        assert _svg_line_chart([], [], "x") == ""
+
+    def test_single_point_falls_back_to_a_dot(self):
+        chart = _svg_line_chart([0.0], [1.0], "x")
+        assert "<circle" in chart and "<polyline" not in chart
+
+    def test_nan_gap_splits_the_polyline(self):
+        times = [0.0, 1.0, 2.0, 3.0, 4.0]
+        values = [1.0, 2.0, math.nan, 3.0, 4.0]
+        chart = _svg_line_chart(times, values, "x")
+        assert chart.count("<polyline") == 2
+
+
+class TestBadness:
+    def test_directions(self):
+        assert _badness(MetricRule("m", "higher"), 3.0) == -3.0
+        assert _badness(MetricRule("m", "lower"), 3.0) == 3.0
+        assert _badness(MetricRule("m", "target", target=1.0), 1.4) == pytest.approx(0.4)
+
+    def test_unknown_direction_rejects(self):
+        with pytest.raises(ValueError):
+            _badness(MetricRule("m", "sideways"), 1.0)
+
+
+class TestFinalValue:
+    def test_skips_trailing_nulls(self):
+        samples = [{"m": 1.0}, {"m": 2.0}, {"m": None}]
+        assert _final_value(samples, "m") == 2.0
+
+    def test_all_missing_is_none(self):
+        assert _final_value([{"m": None}], "m") is None
+        assert _final_value([], "m") is None
+
+
+class TestCompareMetric:
+    RULE = MetricRule("height", "higher", rel_tolerance=0.05, abs_tolerance=1.0)
+
+    def test_drop_beyond_slack_regresses(self):
+        a = [{"height": 100.0}]
+        b = [{"height": 90.0}]
+        comparison = _compare_metric(self.RULE, a, b)
+        assert comparison.regressed
+        assert "worse by" in comparison.detail
+
+    def test_drop_within_slack_is_ok(self):
+        comparison = _compare_metric(self.RULE, [{"height": 100.0}], [{"height": 96.0}])
+        assert not comparison.regressed
+
+    def test_improvement_never_regresses(self):
+        comparison = _compare_metric(self.RULE, [{"height": 10.0}], [{"height": 100.0}])
+        assert not comparison.regressed
+
+    def test_missing_series_is_not_a_regression(self):
+        comparison = _compare_metric(self.RULE, [{"height": 10.0}], [{}])
+        assert not comparison.regressed
+        assert comparison.detail == "missing in one run"
+
+
+class TestCompareVerdictsAndAlerts:
+    def test_worsening_status_regresses(self):
+        comparison = _compare_verdicts(HEALTHY_VERDICT, CRITICAL_VERDICT)
+        assert comparison.regressed and comparison.detail == "healthy → critical"
+
+    def test_improving_status_does_not(self):
+        assert not _compare_verdicts(CRITICAL_VERDICT, HEALTHY_VERDICT).regressed
+
+    def test_missing_verdict_skips(self):
+        assert _compare_verdicts(None, HEALTHY_VERDICT) is None
+
+    def test_new_alerting_monitor_regresses(self):
+        comparison = _compare_alerts(HEALTHY_VERDICT, CRITICAL_VERDICT)
+        assert comparison.regressed
+        assert "chain-stall" in comparison.detail
+
+    def test_vanished_alert_is_fine(self):
+        assert not _compare_alerts(CRITICAL_VERDICT, HEALTHY_VERDICT).regressed
+
+
+class TestCompareRuns:
+    def test_identical_synthetic_runs_compare_clean(self, tmp_path):
+        samples = healthy_samples()
+        a = write_run(tmp_path / "a", samples, verdict=HEALTHY_VERDICT)
+        b = write_run(tmp_path / "b", samples, verdict=HEALTHY_VERDICT)
+        result = compare_runs(a, b)
+        assert not result.regressed
+        assert {c.metric for c in result.comparisons} == (
+            {rule.key for rule in RULES} | {"verdict", "alerting_monitors"}
+        )
+        assert "no regressions" in render_comparison(result)
+
+    def test_degraded_candidate_is_called_out(self, tmp_path):
+        degraded = healthy_samples()
+        degraded[-1]["height"] = 1          # chain barely grew
+        degraded[-1]["coverage_recent"] = 0.2
+        a = write_run(tmp_path / "a", healthy_samples(), verdict=HEALTHY_VERDICT)
+        b = write_run(tmp_path / "b", degraded, verdict=CRITICAL_VERDICT)
+        result = compare_runs(a, b)
+        regressed = {c.metric for c in result.regressions}
+        assert {"height", "coverage_recent", "verdict", "alerting_monitors"} <= regressed
+        rendered = render_comparison(result)
+        assert "REGRESSED" in rendered
+        record = result.to_dict()
+        assert record["schema"] == "repro.obs.compare/v1"
+        assert record["regressed"] is True
+        assert record["regressions"] == len(result.regressions)

@@ -30,6 +30,7 @@ from repro.sim.scenarios import (
     data_amount_scenario,
     placement_scenario,
 )
+from repro.version import package_version
 
 #: Seeds averaged per cell ("All results are the average of 2 simulations").
 PAPER_SEED_COUNT = 2
@@ -50,7 +51,11 @@ def headline_sink():
 
     def write(payload: dict) -> Path:
         target = REPO_ROOT / BENCH_HEADLINE_NAME
-        record = {"schema": "repro.bench.headline/v1", **payload}
+        record = {
+            "schema": "repro.bench.headline/v1",
+            "version": package_version(),
+            **payload,
+        }
         with target.open("w", encoding="utf-8") as handle:
             json.dump(record, handle, indent=2, sort_keys=True)
             handle.write("\n")

@@ -10,6 +10,11 @@ Commands:
   unrecoverable corruption.
 * ``fig4`` / ``fig5`` / ``fig6`` — regenerate a paper figure from the
   terminal (the benchmarks do the same under pytest).
+* ``live run`` — the same protocol over real TCP sockets on localhost:
+  N nodes as asyncio tasks (or ``--procs`` subprocesses), the seeded
+  workload, and the same metrics/obs artefacts as ``run``.
+* ``live parity`` — the sim/live parity oracle: one seeded workload on
+  both runtimes must converge to the identical chain digest.
 * ``trace summary`` / ``trace export`` / ``trace merge`` — inspect and
   convert the observability artefacts a ``run --obs DIR`` leaves behind.
 * ``report`` — render one observed run's timeline, events, and verdict
@@ -41,6 +46,7 @@ from repro.persist import (
 )
 from repro.sim.runner import ExperimentSpec, run_experiment
 from repro.sim.scenarios import data_amount_scenario, placement_scenario
+from repro.version import package_version
 
 
 def _print_run_summary(title: str, metrics) -> None:
@@ -330,6 +336,190 @@ def cmd_fig6(args: argparse.Namespace) -> int:
     return 0
 
 
+def _live_spec(args: argparse.Namespace):
+    """Build a LiveSpec from the shared ``live`` flag set."""
+    from repro.net.harness import KillSpec, LiveSpec
+
+    config = replace(
+        PAPER_CONFIG,
+        data_items_per_minute=args.rate,
+        placement_solver=args.solver,
+        expected_block_interval=args.block_interval,
+    )
+    kill = None
+    if getattr(args, "kill", None) is not None:
+        kill = KillSpec(
+            node_id=args.kill,
+            at_minutes=args.kill_at,
+            down_minutes=args.kill_down,
+        )
+    try:
+        return LiveSpec(
+            node_count=args.nodes,
+            config=config,
+            seed=args.seed,
+            duration_minutes=args.minutes,
+            time_scale=args.time_scale,
+            base_port=args.base_port,
+            kill=kill,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+
+
+def cmd_live_run(args: argparse.Namespace) -> int:
+    session = _obs_enable(args, default_interval=args.block_interval)
+    try:
+        return _cmd_live_run_inner(args)
+    finally:
+        if session is not None:
+            _obs_export(session, args)
+
+
+def _cmd_live_run_inner(args: argparse.Namespace) -> int:
+    if args.procs:
+        return _live_run_procs(args)
+    from repro.net.harness import run_live_experiment
+
+    spec = _live_spec(args)
+    result = run_live_experiment(spec)
+    label = (
+        f"Live run: {args.nodes} nodes, {args.minutes:g} min at "
+        f"{args.time_scale:g}x wall, seed={args.seed}"
+    )
+    _print_run_summary(label, result.metrics)
+    summary = result.summary()
+    print(
+        f"chain digest {result.chain_digest[:16]}… on all nodes: "
+        f"{summary['digests_agree']}; reconnects: {result.reconnects}"
+    )
+    if result.resynced is not None:
+        print(f"killed node resynced: {result.resynced}")
+    if args.json:
+        record = metrics_to_record(
+            result.metrics, seed=args.seed, rate=args.rate, solver=args.solver
+        )
+        record.update(summary)
+        _export([record], args.json, None)
+    return 0 if result.healthy else 1
+
+
+def _live_run_procs(args: argparse.Namespace) -> int:
+    """Host each node in its own subprocess on a fixed port range."""
+    import subprocess
+    import time as _time
+
+    if args.kill is not None:
+        raise SystemExit("error: --kill is not supported with --procs")
+    base_port = args.base_port or 46200
+    start_at = _time.time() + args.start_lead
+    command = [
+        sys.executable, "-m", "repro", "live", "node",
+        "--nodes", str(args.nodes),
+        "--minutes", str(args.minutes),
+        "--seed", str(args.seed),
+        "--rate", str(args.rate),
+        "--solver", args.solver,
+        "--block-interval", str(args.block_interval),
+        "--time-scale", str(args.time_scale),
+        "--base-port", str(base_port),
+        "--start-at", repr(start_at),
+    ]
+    procs = [
+        subprocess.Popen(
+            command + ["--node-id", str(node_id)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for node_id in range(args.nodes)
+    ]
+    budget = (start_at - _time.time()) + args.minutes * 60.0 * args.time_scale + 60.0
+    results = []
+    failed = False
+    for node_id, proc in enumerate(procs):
+        try:
+            out, err = proc.communicate(timeout=max(10.0, budget))
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            out, err = proc.communicate()
+            print(f"node {node_id}: timed out", file=sys.stderr)
+            failed = True
+            continue
+        if proc.returncode != 0:
+            print(f"node {node_id}: exit {proc.returncode}\n{err}", file=sys.stderr)
+            failed = True
+            continue
+        try:
+            results.append(json.loads(out.strip().splitlines()[-1]))
+        except (json.JSONDecodeError, IndexError):
+            print(f"node {node_id}: unparsable output: {out!r}", file=sys.stderr)
+            failed = True
+    if failed or not results:
+        return 1
+    digests = {record["chain_digest"] for record in results}
+    rows = [
+        [
+            record["node"],
+            record["chain_height"],
+            record["chain_digest"][:16],
+            record["blocks_mined"],
+            record["reconnects"],
+        ]
+        for record in sorted(results, key=lambda r: r["node"])
+    ]
+    print()
+    print(
+        render_table(
+            f"Live run ({args.nodes} processes, {args.minutes:g} min, "
+            f"seed={args.seed})",
+            ["node", "height", "digest", "mined", "reconnects"],
+            rows,
+        )
+    )
+    agree = len(digests) == 1
+    print(f"chain digests agree across processes: {agree}")
+    return 0 if agree else 1
+
+
+def cmd_live_parity(args: argparse.Namespace) -> int:
+    from repro.net.harness import parity_report
+
+    report = parity_report(_live_spec(args))
+    print()
+    print(
+        render_table(
+            f"Parity: {args.nodes} nodes, {args.minutes:g} min, seed={args.seed}",
+            ["side", "height", "chain digest"],
+            [
+                ["simnet", report["sim_height"], report["sim_digest"][:32]],
+                ["live", report["live_height"], report["live_digest"][:32]],
+            ],
+        )
+    )
+    print(f"match: {report['match']}")
+    if args.json:
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {out}")
+    return 0 if report["match"] else 1
+
+
+def cmd_live_node(args: argparse.Namespace) -> int:
+    """Internal: host one node of a multi-process cluster (see --procs)."""
+    import asyncio
+
+    from repro.net.harness import host_single_node
+
+    spec = _live_spec(args)
+    result = asyncio.run(host_single_node(spec, args.node_id, args.start_at))
+    print(json.dumps(result, sort_keys=True))
+    return 0
+
+
 def _trace_path(argument: str) -> Path:
     """Accept either an obs directory or a trace file path."""
     path = Path(argument)
@@ -441,6 +631,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Edge blockchain reproduction (ICDCS 2019) — experiment CLI",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {package_version()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one experiment")
@@ -527,6 +720,91 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument("--json")
     fig5.add_argument("--csv")
     fig5.set_defaults(func=cmd_fig5)
+
+    live = sub.add_parser(
+        "live", help="run the protocol over real TCP sockets on localhost"
+    )
+    live_sub = live.add_subparsers(dest="live_command", required=True)
+
+    def _live_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--nodes", type=int, default=8)
+        p.add_argument("--minutes", type=float, default=10.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--rate", type=float, default=1.0, help="data items per minute"
+        )
+        p.add_argument("--solver", default="greedy",
+                       choices=["greedy", "local_search", "lp_rounding", "random"])
+        p.add_argument("--block-interval", type=float, default=60.0)
+        p.add_argument(
+            "--time-scale", type=float, default=0.02,
+            help="wall seconds per simulated second (default 0.02 = 50x)",
+        )
+        p.add_argument(
+            "--base-port", type=int, default=0,
+            help="first TCP port (node i listens on base+i); 0 = ephemeral",
+        )
+
+    live_run = live_sub.add_parser(
+        "run", help="N live nodes on localhost driving the seeded workload"
+    )
+    _live_common(live_run)
+    live_run.add_argument(
+        "--procs", action="store_true",
+        help="one OS process per node instead of asyncio tasks",
+    )
+    live_run.add_argument(
+        "--start-lead", type=float, default=8.0, metavar="SECONDS",
+        help="--procs only: wall seconds for all node processes to boot "
+             "and mesh up before logical t=0 (default 8)",
+    )
+    live_run.add_argument(
+        "--kill", type=int, metavar="NODE",
+        help="kill this node mid-run and restart it (reconnect + resync drill)",
+    )
+    live_run.add_argument(
+        "--kill-at", type=float, default=3.0, metavar="MINUTES",
+        help="simulated minutes into the run to kill the node (default 3)",
+    )
+    live_run.add_argument(
+        "--kill-down", type=float, default=2.0, metavar="MINUTES",
+        help="simulated minutes the node stays down (default 2)",
+    )
+    live_run.add_argument("--json", help="write the run record to this JSON file")
+    live_run.add_argument(
+        "--obs", metavar="DIR",
+        help="enable observability: trace, metrics, timeline, and verdict in DIR",
+    )
+    live_run.add_argument(
+        "--obs-timebase", choices=["wall", "sim"], default="wall",
+        help="timeline for the exported trace: real (wall) or simulated time",
+    )
+    live_run.add_argument(
+        "--obs-sample", type=float, metavar="SECONDS",
+        help="simulated seconds between protocol-timeline samples "
+             "(default: the expected block interval)",
+    )
+    live_run.set_defaults(func=cmd_live_run)
+
+    live_parity = live_sub.add_parser(
+        "parity",
+        help="run the same seed on simnet and live; exit 1 unless the "
+             "chain digests match",
+    )
+    _live_common(live_parity)
+    live_parity.add_argument("--json", help="write the parity report to this file")
+    live_parity.set_defaults(func=cmd_live_parity)
+
+    live_node = live_sub.add_parser(
+        "node", help="internal: host one node of a --procs cluster"
+    )
+    _live_common(live_node)
+    live_node.add_argument("--node-id", type=int, required=True)
+    live_node.add_argument(
+        "--start-at", type=float, required=True,
+        help="shared epoch instant at which logical t=0 begins",
+    )
+    live_node.set_defaults(func=cmd_live_node)
 
     trace = sub.add_parser(
         "trace", help="inspect/convert observability artefacts from `run --obs`"

@@ -19,6 +19,15 @@ class ConsensusError(ValidationError):
     """A PoS hit/target claim does not verify against chain state."""
 
 
+class SerializationError(ValidationError):
+    """A serialised payload is structurally unacceptable (oversized,
+    absurdly nested, wrong shape) before any content validation runs.
+
+    Subclasses :class:`ValidationError` so every existing handler that
+    treats malformed wire input as a validation failure keeps working.
+    """
+
+
 class StorageError(EdgeChainError):
     """A storage operation failed (capacity exhausted, unknown item...)."""
 

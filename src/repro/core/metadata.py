@@ -106,6 +106,17 @@ class MetadataItem:
         return METADATA_WIRE_BYTES + 4 * len(self.storing_nodes)
 
 
+def data_id_for(account: Account, sequence: int) -> str:
+    """The data id the producer's ``sequence``-th item will carry.
+
+    Depends only on the account address and the per-producer counter —
+    not on production time — so any party that knows the deterministic
+    workload can precompute ids without running the producer (the live
+    harness uses this to schedule requests ahead of production).
+    """
+    return hash_items("data", account.address, sequence).hex()[:32]
+
+
 def create_metadata(
     account: Account,
     producer: int,
@@ -122,7 +133,7 @@ def create_metadata(
     ``sequence`` is the producer's local counter; the data id is the hash of
     (producer address, sequence), which is unique per producer.
     """
-    data_id = hash_items("data", account.address, sequence).hex()[:32]
+    data_id = data_id_for(account, sequence)
     unsigned = MetadataItem(
         data_id=data_id,
         data_type=data_type,

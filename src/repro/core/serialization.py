@@ -21,7 +21,7 @@ import json
 from typing import Any, Dict, List, Sequence
 
 from repro.core.block import Block
-from repro.core.errors import ValidationError
+from repro.core.errors import SerializationError, ValidationError
 from repro.core.metadata import MetadataItem
 from repro.core.storage import NodeStorage, StoredData
 
@@ -149,12 +149,53 @@ def chain_to_json(blocks: Sequence[Block]) -> str:
     )
 
 
+#: Ceiling on a serialised chain accepted by :func:`chain_from_json`.
+#: A 500-minute paper run serialises to well under 10 MB; an input past
+#: this is hostile or corrupt, and rejecting it up front keeps a peer
+#: from making us parse an arbitrarily large document.
+MAX_CHAIN_JSON_BYTES = 64 * 1024 * 1024
+
+#: Ceiling on JSON nesting depth.  Honest chain documents nest ~6 deep
+#: (chain → block → metadata → storing nodes); deeply nested input only
+#: exists to exhaust the parser's recursion.
+MAX_CHAIN_JSON_DEPTH = 32
+
+
+def _check_depth(value: Any, limit: int, depth: int = 0) -> None:
+    if depth > limit:
+        raise SerializationError(
+            f"chain payload nests deeper than {limit} levels"
+        )
+    if isinstance(value, dict):
+        for item in value.values():
+            _check_depth(item, limit, depth + 1)
+    elif isinstance(value, list):
+        for item in value:
+            _check_depth(item, limit, depth + 1)
+
+
 def chain_from_json(text: str, verify_hashes: bool = True) -> List[Block]:
-    """Deserialise a chain, checking linkage between consecutive blocks."""
+    """Deserialise a chain, checking linkage between consecutive blocks.
+
+    Structural defences run before content validation: payloads larger
+    than :data:`MAX_CHAIN_JSON_BYTES` or nested deeper than
+    :data:`MAX_CHAIN_JSON_DEPTH` raise :class:`SerializationError`
+    (a :class:`ValidationError`, so existing handlers already catch it).
+    """
+    if len(text) > MAX_CHAIN_JSON_BYTES:
+        raise SerializationError(
+            f"chain payload of {len(text)} bytes exceeds the "
+            f"{MAX_CHAIN_JSON_BYTES}-byte limit"
+        )
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as error:
         raise ValidationError(f"chain payload is not valid JSON: {error}") from error
+    except RecursionError as error:
+        raise SerializationError(
+            "chain payload nests too deeply to parse"
+        ) from error
+    _check_depth(payload, MAX_CHAIN_JSON_DEPTH)
     if not isinstance(payload, dict) or _require(payload, "v") != WIRE_FORMAT_VERSION:
         raise ValidationError("unsupported chain wire format")
     blocks = [

@@ -1,0 +1,79 @@
+"""Live asyncio network runtime: real sockets under the unmodified protocol.
+
+The simulator (:mod:`repro.simnet`) proves the protocol's *logic*; this
+package proves its *deployability*: the same :class:`~repro.core.node.
+EdgeNode` handlers run over real TCP sockets on localhost (or a LAN),
+with a framed wire protocol, handshakes, heartbeats, and reconnection —
+the runtime shape of the paper's Docker/Naivechain testbed.
+
+* :mod:`repro.net.wire` — versioned length-prefixed JSON frame codec and
+  the message (de)serialisers built on :mod:`repro.core.serialization`.
+* :mod:`repro.net.clock` — :class:`AsyncEngine`, the asyncio-backed
+  scheduler that is duck-type compatible with
+  :class:`~repro.simnet.engine.EventEngine` and keeps a *logical* clock
+  (timers observe their exact scheduled logical time) so live runs stay
+  comparable — and, for seeded workloads, digest-identical — to simnet.
+* :mod:`repro.net.peer` — connection manager: dial/accept, handshake,
+  per-peer bounded send queues, heartbeats, jittered-backoff reconnect.
+* :mod:`repro.net.router` — :class:`SocketNetwork`, drop-in
+  signature-compatible with :class:`~repro.simnet.transport.Network`.
+* :mod:`repro.net.harness` — N-node live clusters on localhost, the
+  deterministic workload driver, and the sim/live parity oracle.
+"""
+
+from repro.net.clock import AsyncEngine, AsyncEventHandle
+from repro.net.harness import (
+    LiveClusterHarness,
+    LiveRunResult,
+    LiveSpec,
+    LiveWorkload,
+    build_workload,
+    parity_report,
+    run_live_experiment,
+)
+from repro.net.peer import (
+    HandshakeInfo,
+    PeerConfig,
+    PeerManager,
+    PeerState,
+    reconnect_backoff,
+)
+from repro.net.router import SocketNetwork
+from repro.net.wire import (
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    WireError,
+    decode_frame,
+    decode_message,
+    encode_frame,
+    encode_message,
+)
+
+__all__ = [
+    "AsyncEngine",
+    "AsyncEventHandle",
+    "FRAME_HEADER_BYTES",
+    "FrameDecoder",
+    "HandshakeInfo",
+    "LiveClusterHarness",
+    "LiveRunResult",
+    "LiveSpec",
+    "LiveWorkload",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "PeerConfig",
+    "PeerManager",
+    "PeerState",
+    "SocketNetwork",
+    "WireError",
+    "build_workload",
+    "decode_frame",
+    "decode_message",
+    "encode_frame",
+    "encode_message",
+    "parity_report",
+    "reconnect_backoff",
+    "run_live_experiment",
+]

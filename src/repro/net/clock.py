@@ -1,0 +1,192 @@
+"""Asyncio-backed scheduler with a *logical* protocol clock.
+
+:class:`AsyncEngine` is duck-type compatible with the slice of
+:class:`~repro.simnet.engine.EventEngine` the protocol node uses —
+``now``, ``schedule``, ``call_at``, ``np_rng``/``rng``/``seed``, and
+cancellable handles — but timers fire on a real asyncio event loop.
+
+The load-bearing design choice is the clock.  Logical (protocol) seconds
+map onto wall time through ``time_scale`` (wall seconds per logical
+second), and when a timer fires, ``now`` is set to the timer's **exact
+scheduled logical time**, not to the wall clock.  Event-loop jitter
+therefore never leaks into protocol state: a mining event scheduled for
+logical ``t=120.0`` observes ``now == 120.0`` even if the loop ran it a
+few milliseconds late.  That is what makes a live run's chain
+bit-identical to the simulator's for the same seeded workload (the
+parity oracle of :mod:`repro.net.harness`) — block timestamps, metadata
+creation times, and every other ``engine.now`` read that ends up hashed
+into the chain take the same values in both runtimes.
+
+Between timers, ``now`` holds the last fired timer's logical time, which
+mirrors how the simulator's clock only advances on event execution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.obs import runtime as _obs
+
+
+class AsyncEventHandle:
+    """Cancellable handle, mirroring :class:`~repro.simnet.engine.EventHandle`."""
+
+    def __init__(self, when: float):
+        self._when = when
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        if self._timer is not None:
+            self._timer.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def time(self) -> float:
+        return self._when
+
+
+class AsyncEngine:
+    """Scaled-real-time scheduler exposing the simulator engine's surface.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the owned ``random``/``numpy`` generators (protocol code
+        expects them on its engine).
+    time_scale:
+        Wall seconds per logical second.  ``0.02`` runs a 60 s block
+        interval in 1.2 s of real time.
+    start_logical:
+        Logical time at which this engine begins — a restarted node
+        resumes the cluster's current logical clock instead of t=0.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        time_scale: float = 0.02,
+        start_logical: float = 0.0,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+    ):
+        if time_scale <= 0:
+            raise ValueError("time scale must be positive")
+        self.seed = seed
+        self.time_scale = time_scale
+        self.rng = random.Random(seed)
+        self.np_rng = np.random.default_rng(seed)
+        self.events_processed = 0
+        if loop is None:
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                loop = asyncio.new_event_loop()
+                asyncio.set_event_loop(loop)
+        self._loop = loop
+        self._now = start_logical
+        # Wall instant corresponding to logical ``start_logical``.
+        self._wall_origin = self._loop.time() - start_logical * time_scale
+        self._pending = 0
+        self._stopped = False
+
+    # -- clock -------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Logical time of the most recently fired timer."""
+        return self._now
+
+    def wall_elapsed_logical(self) -> float:
+        """The wall clock mapped into logical seconds (monitoring only)."""
+        return (self._loop.time() - self._wall_origin) / self.time_scale
+
+    def rebase(self, start_logical: Optional[float] = None, wall_at: Optional[float] = None) -> None:
+        """Re-anchor the logical↔wall mapping.
+
+        Called once per node right before the protocol starts so logical
+        ``t=0`` means "after the mesh came up", not "at object creation"
+        — and, in multi-process clusters, so every node anchors to the
+        same shared wall instant (``wall_at``, epoch seconds of the
+        loop's clock domain is not portable across processes, so the
+        harness passes a ``time.time()`` instant and we convert).
+        """
+        logical = self._now if start_logical is None else start_logical
+        self._now = logical
+        if wall_at is None:
+            self._wall_origin = self._loop.time() - logical * self.time_scale
+        else:
+            import time as _time
+
+            # Convert an epoch instant into this loop's clock domain.
+            offset = wall_at - _time.time()
+            self._wall_origin = (
+                self._loop.time() + offset - logical * self.time_scale
+            )
+
+    def clock_reader(self) -> Callable[[], float]:
+        return lambda: self._now
+
+    @property
+    def queue_depth(self) -> int:
+        """Timers scheduled but not yet fired."""
+        return self._pending
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> AsyncEventHandle:
+        """Run ``callback(*args)`` after ``delay`` *logical* seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def call_at(
+        self, when: float, callback: Callable[..., None], *args: Any
+    ) -> AsyncEventHandle:
+        """Run ``callback(*args)`` at absolute logical time ``when``.
+
+        Unlike the simulator there is no "past" to reject deterministically
+        — a message may arrive while our last-fired-timer clock lags the
+        wall — so a ``when`` already behind the wall clock simply fires as
+        soon as the loop is free, observing its scheduled logical time.
+        """
+        handle = AsyncEventHandle(when)
+        wall_at = self._wall_origin + when * self.time_scale
+        self._pending += 1
+        handle._timer = self._loop.call_at(wall_at, self._fire, handle, callback, args)
+        return handle
+
+    def _fire(
+        self, handle: AsyncEventHandle, callback: Callable[..., None], args: tuple
+    ) -> None:
+        self._pending -= 1
+        if handle.cancelled or self._stopped:
+            return
+        # Exact-time semantics: the callback observes its scheduled logical
+        # instant.  Out-of-order wall delivery of nearly-simultaneous timers
+        # may briefly step the clock backwards; protocol determinism only
+        # needs each *timer-driven* read to be exact.
+        self._now = handle.time
+        self.events_processed += 1
+        if _obs.is_enabled():
+            with _obs.span(
+                "net.timer", "net", callback=getattr(callback, "__qualname__", "?")
+            ):
+                callback(*args)
+            _obs.add("net.timers_fired")
+            _obs.timeline_tick(self._now)
+        else:
+            callback(*args)
+
+    def stop(self) -> None:
+        """Suppress all not-yet-fired timers (node shutdown)."""
+        self._stopped = True

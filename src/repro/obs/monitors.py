@@ -391,8 +391,11 @@ class MonitorSuite:
             for name, entry in by_monitor.items()
             if entry["current_level"] != "ok"
         )
+        from repro.version import package_version
+
         return {
             "schema": VERDICT_SCHEMA,
+            "version": package_version(),
             "status": "healthy" if worst < 0 else SEVERITIES[worst],
             "alerts": sum(1 for e in self.events if e.severity != "info"),
             "events_total": len(self.events),

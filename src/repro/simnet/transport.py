@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set
 
+from repro.obs import runtime as _obs
 from repro.simnet.channel import ChannelModel
 from repro.simnet.engine import EventEngine
 from repro.simnet.topology import Topology
@@ -58,6 +59,11 @@ class Network:
         self._offline: Set[int] = set()
         #: Monotone counter of dispatched messages (unicast + broadcast).
         self.messages_sent = 0
+        #: Messages that never reached delivery: offline endpoint, no
+        #: path, channel loss, or a broadcast from an offline source.
+        #: Mirrored by the live transport so sim and live loss accounting
+        #: compare field for field.
+        self.messages_dropped = 0
 
     # -- membership -------------------------------------------------------------
 
@@ -109,9 +115,13 @@ class Network:
         if source == target:
             raise ValueError("loopback sends are not routed")
         if not self.is_online(source) or not self.is_online(target):
+            self.messages_dropped += 1
+            _obs.add("net.messages_dropped")
             return SendReceipt(delivered=False, hops=0, latency=0.0)
         path = self.topology.shortest_path(source, target)
         if path is None:
+            self.messages_dropped += 1
+            _obs.add("net.messages_dropped")
             return SendReceipt(delivered=False, hops=0, latency=0.0)
         hops = len(path) - 1
         traversed = 0
@@ -119,11 +129,14 @@ class Network:
             if not self.channel.survives(1, self.engine.np_rng):
                 # Lost on this hop: bill what was actually sent, then drop.
                 self.trace.record_hop(upstream, downstream, size_bytes, category)
+                self.messages_dropped += 1
+                _obs.add("net.messages_dropped")
                 return SendReceipt(delivered=False, hops=traversed + 1, latency=0.0)
             self.trace.record_hop(upstream, downstream, size_bytes, category)
             traversed += 1
         latency = self.channel.path_latency(size_bytes, hops)
         self.messages_sent += 1
+        _obs.add("net.messages_sent")
         self.engine.schedule(latency, self._deliver, target, source, payload, category)
         return SendReceipt(delivered=True, hops=hops, latency=latency)
 
@@ -148,6 +161,8 @@ class Network:
         Returns the number of nodes the broadcast reached (excluding source).
         """
         if not self.is_online(source):
+            self.messages_dropped += 1
+            _obs.add("net.messages_dropped")
             return 0
         if mode not in ("tree", "flood"):
             raise ValueError(f"unknown broadcast mode: {mode}")
@@ -189,7 +204,22 @@ class Network:
                             continue  # already billed as the tree edge
                         self.trace.record_hop(node, neighbor, size_bytes, category)
         self.messages_sent += 1
+        _obs.add("net.messages_sent")
         return reached
+
+    # -- accounting ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Traffic summary: trace totals plus sent/dropped counters.
+
+        Same shape as :meth:`repro.net.router.SocketNetwork.snapshot`, so
+        a simulated and a live run of the same workload diff directly.
+        """
+        return {
+            **self.trace.snapshot(),
+            "messages_sent": self.messages_sent,
+            "messages_dropped": self.messages_dropped,
+        }
 
     # -- delivery ----------------------------------------------------------------
 

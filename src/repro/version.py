@@ -1,0 +1,29 @@
+"""Single source of the installed package version.
+
+Leaf module (no repro imports at module load) so anything — the CLI,
+verdict writers, benchmark sinks — can stamp artefacts with the version
+without risking an import cycle through ``repro/__init__``.
+"""
+
+from __future__ import annotations
+
+
+def package_version() -> str:
+    """The installed distribution version, with graceful fallbacks.
+
+    Prefers package metadata (what ``pip`` actually installed); falls
+    back to ``repro.__version__`` for source-tree runs without an
+    installed distribution.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        try:
+            return version("repro")
+        except PackageNotFoundError:
+            pass
+    except ImportError:  # pragma: no cover - importlib.metadata is 3.8+
+        pass
+    import repro
+
+    return getattr(repro, "__version__", "unknown")

@@ -1,0 +1,63 @@
+"""Unit tests for the reconnect backoff schedule and peer tunables."""
+
+import random
+
+import pytest
+
+from repro.net.peer import PeerConfig, reconnect_backoff
+
+
+class TestReconnectBackoff:
+    def test_jitter_free_schedule_doubles_to_cap(self):
+        delays = [
+            reconnect_backoff(a, base=0.05, cap=2.0, rng=None) for a in range(10)
+        ]
+        assert delays[:6] == [0.05, 0.1, 0.2, 0.4, 0.8, 1.6]
+        assert delays[6:] == [2.0, 2.0, 2.0, 2.0]
+
+    def test_monotone_nondecreasing_without_jitter(self):
+        delays = [reconnect_backoff(a, rng=None) for a in range(20)]
+        assert all(a <= b for a, b in zip(delays, delays[1:]))
+
+    def test_jitter_bounds(self):
+        rng = random.Random(7)
+        for attempt in range(12):
+            delay = reconnect_backoff(
+                attempt, base=0.05, cap=2.0, jitter=0.25, rng=rng
+            )
+            floor = min(2.0, 0.05 * 2.0 ** attempt)
+            assert floor <= delay <= floor * 1.25 + 1e-12
+            assert delay <= 2.0 * 1.25  # jittered cap
+
+    def test_deterministic_for_seeded_rng(self):
+        first = [reconnect_backoff(a, rng=random.Random(3)) for a in range(6)]
+        second = [reconnect_backoff(a, rng=random.Random(3)) for a in range(6)]
+        assert first == second
+
+    def test_huge_attempt_does_not_overflow(self):
+        assert reconnect_backoff(10_000, base=0.05, cap=2.0, rng=None) == 2.0
+
+    def test_zero_jitter_with_rng_is_exact(self):
+        delay = reconnect_backoff(3, base=0.1, cap=5.0, jitter=0.0,
+                                  rng=random.Random(1))
+        assert delay == pytest.approx(0.8)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"attempt": -1},
+        {"attempt": 0, "base": 0.0},
+        {"attempt": 0, "cap": -1.0},
+        {"attempt": 0, "jitter": 1.5},
+        {"attempt": 0, "jitter": -0.1},
+    ])
+    def test_invalid_inputs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            reconnect_backoff(**kwargs)
+
+
+def test_peer_config_defaults_are_sane():
+    config = PeerConfig()
+    assert config.handshake_timeout > 0
+    assert config.heartbeat_interval > 0
+    assert config.heartbeat_misses >= 1
+    assert config.send_queue_frames > 0
+    assert config.reconnect_base < config.reconnect_cap

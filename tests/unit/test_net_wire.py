@@ -1,0 +1,238 @@
+"""Unit tests for the live wire protocol: frames and message codec."""
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import messages as m
+from repro.core.account import Account
+from repro.core.blockchain import Blockchain
+from repro.core.config import SystemConfig
+from repro.core.errors import ValidationError
+from repro.core.metadata import create_metadata
+from repro.net.wire import (
+    FRAME_HEADER_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    WireError,
+    decode_frame,
+    decode_message,
+    encode_frame,
+    encode_message,
+    hello_frame,
+    ping_frame,
+    pong_frame,
+)
+
+
+@pytest.fixture
+def item(account):
+    return create_metadata(
+        account, producer=0, sequence=0, created_at=5.0, properties="Camera"
+    ).with_storing_nodes((0, 3))
+
+
+@pytest.fixture
+def genesis():
+    accounts = {i: Account.for_node(66, i) for i in range(3)}
+    address_of = {i: a.address for i, a in accounts.items()}
+    chain = Blockchain(list(range(3)), SystemConfig(), address_of)
+    return chain.block_at(0)
+
+
+# -- frame codec ---------------------------------------------------------------
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        payload = {"v": 1, "kind": "ping", "t": 3.25}
+        assert decode_frame(encode_frame(payload)) == payload
+
+    def test_header_is_big_endian_length(self):
+        frame = encode_frame({"a": 1})
+        (length,) = struct.unpack(">I", frame[:FRAME_HEADER_BYTES])
+        assert length == len(frame) - FRAME_HEADER_BYTES
+
+    def test_oversized_payload_rejected_on_encode(self):
+        with pytest.raises(WireError):
+            encode_frame({"blob": "x" * 64}, max_bytes=32)
+
+    def test_unserialisable_payload_rejected(self):
+        with pytest.raises(WireError):
+            encode_frame({"raw": b"bytes are not json"})
+
+    def test_truncated_frame_stays_buffered(self):
+        frame = encode_frame({"kind": "ping"})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-2]) == []
+        assert decoder.pending_bytes == len(frame) - 2
+        assert decoder.feed(frame[-2:]) == [{"kind": "ping"}]
+        assert decoder.pending_bytes == 0
+
+    def test_oversized_frame_rejected_from_header_alone(self):
+        # Only the 4-byte header arrives; the decoder must refuse without
+        # waiting to buffer the announced (hostile) payload.
+        decoder = FrameDecoder(max_bytes=1024)
+        with pytest.raises(WireError):
+            decoder.feed(struct.pack(">I", 1 << 30))
+
+    def test_garbage_payload_rejected(self):
+        body = b"\xff\xfenot json"
+        decoder = FrameDecoder()
+        with pytest.raises(WireError):
+            decoder.feed(struct.pack(">I", len(body)) + body)
+
+    def test_non_object_payload_rejected(self):
+        body = json.dumps([1, 2, 3]).encode()
+        with pytest.raises(WireError):
+            decode_frame(struct.pack(">I", len(body)) + body)
+
+    def test_multiple_frames_in_one_chunk(self):
+        chunk = encode_frame({"n": 1}) + encode_frame({"n": 2})
+        assert FrameDecoder().feed(chunk) == [{"n": 1}, {"n": 2}]
+
+    @given(payloads=st.lists(
+        st.dictionaries(
+            st.text(max_size=8),
+            st.one_of(st.integers(), st.floats(allow_nan=False), st.text(max_size=16)),
+            max_size=4,
+        ),
+        min_size=1,
+        max_size=5,
+    ), chunk_size=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=50, deadline=None)
+    def test_byte_at_a_time_reassembly(self, payloads, chunk_size):
+        # Any split of the byte stream reassembles the same frame sequence.
+        stream = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        out = []
+        for start in range(0, len(stream), chunk_size):
+            out.extend(decoder.feed(stream[start:start + chunk_size]))
+        assert out == payloads
+        assert decoder.pending_bytes == 0
+
+
+# -- message codec -------------------------------------------------------------
+
+
+def _round_trip(payload, category, source=2, size_bytes=123, sent_at=7.5):
+    frame = decode_frame(encode_message(
+        source, payload, category, size_bytes=size_bytes, sent_at=sent_at
+    ))
+    got_source, got, got_category, got_size, got_t = decode_message(frame)
+    assert (got_source, got_category, got_size, got_t) == (
+        source, category, size_bytes, sent_at
+    )
+    return got
+
+
+class TestMessageCodec:
+    def test_metadata_announce(self, item):
+        got = _round_trip(m.MetadataAnnounce(metadata=item), m.CATEGORY_METADATA)
+        assert got.metadata == item
+
+    def test_block_announce(self, genesis):
+        got = _round_trip(m.BlockAnnounce(block=genesis), m.CATEGORY_BLOCK)
+        assert got.block == genesis
+
+    def test_block_request_response(self, genesis):
+        request = m.BlockRequest(indices=(3, 5), origin=1, ttl=2)
+        assert _round_trip(request, m.CATEGORY_BLOCK_RECOVERY) == request
+        response = m.BlockResponse(blocks=(genesis,))
+        assert _round_trip(response, m.CATEGORY_BLOCK_RECOVERY) == response
+
+    def test_chain_request_response(self, genesis):
+        assert _round_trip(m.ChainRequest(origin=4), m.CATEGORY_CHAIN_SYNC) == (
+            m.ChainRequest(origin=4)
+        )
+        response = m.ChainResponse(blocks=(genesis,))
+        assert _round_trip(response, m.CATEGORY_CHAIN_SYNC) == response
+
+    @pytest.mark.parametrize("payload,category", [
+        (m.DataRequest(data_id="d1", requester=3, request_id=9),
+         m.CATEGORY_DATA_REQUEST),
+        (m.DataResponse(data_id="d1", request_id=9, size_bytes=4096),
+         m.CATEGORY_DATA_RESPONSE),
+        (m.DataNack(data_id="d1", request_id=9), m.CATEGORY_DATA_RESPONSE),
+        (m.DisseminationRequest(data_id="d1", requester=3),
+         m.CATEGORY_DISSEMINATION_REQUEST),
+        (m.DisseminationResponse(data_id="d1", size_bytes=4096),
+         m.CATEGORY_DISSEMINATION),
+        (m.InvalidStorageClaim(data_id="d1", storing_node=2, claimer=5),
+         m.CATEGORY_STORAGE_CLAIM),
+    ])
+    def test_scalar_messages(self, payload, category):
+        assert _round_trip(payload, category) == payload
+
+    def test_unknown_message_type_rejected_on_encode(self):
+        with pytest.raises(WireError):
+            encode_message(0, object(), "junk")
+
+    def test_unknown_type_rejected_on_decode(self):
+        frame = decode_frame(encode_message(
+            0, m.ChainRequest(origin=0), m.CATEGORY_CHAIN_SYNC
+        ))
+        frame["type"] = "NoSuchMessage"
+        with pytest.raises(WireError):
+            decode_message(frame)
+
+    def test_version_mismatch_rejected(self):
+        frame = decode_frame(encode_message(
+            0, m.ChainRequest(origin=0), m.CATEGORY_CHAIN_SYNC
+        ))
+        frame["v"] = PROTOCOL_VERSION + 1
+        with pytest.raises(WireError):
+            decode_message(frame)
+
+    def test_tampered_block_rejected(self, genesis):
+        frame = decode_frame(encode_message(
+            0, m.BlockAnnounce(block=genesis), m.CATEGORY_BLOCK
+        ))
+        frame["body"]["block"]["miner"] = 1  # hash no longer recomputes
+        with pytest.raises(ValidationError):
+            decode_message(frame)
+
+    def test_malformed_body_rejected(self):
+        frame = decode_frame(encode_message(
+            0, m.ChainRequest(origin=0), m.CATEGORY_CHAIN_SYNC
+        ))
+        frame["body"] = {"wrong_field": 1}
+        with pytest.raises(WireError):
+            decode_message(frame)
+
+    def test_defaulted_envelope_fields(self):
+        # Frames from peers that omit size/t (same protocol version) still
+        # decode, with neutral defaults.
+        frame = decode_frame(encode_message(
+            0, m.ChainRequest(origin=0), m.CATEGORY_CHAIN_SYNC
+        ))
+        del frame["size"], frame["t"]
+        _, _, _, size_bytes, sent_at = decode_message(frame)
+        assert (size_bytes, sent_at) == (0, 0.0)
+
+    def test_message_frame_within_limit(self, genesis):
+        with pytest.raises(WireError):
+            encode_message(
+                0, m.BlockAnnounce(block=genesis), m.CATEGORY_BLOCK, max_bytes=16
+            )
+
+
+# -- control frames ------------------------------------------------------------
+
+
+class TestControlFrames:
+    def test_hello_round_trip(self):
+        frame = decode_frame(encode_frame(
+            hello_frame(3, "abc123", 46203, sent_at=1.5)
+        ))
+        assert frame == {
+            "v": PROTOCOL_VERSION, "kind": "hello", "node": 3,
+            "genesis": "abc123", "port": 46203, "t": 1.5,
+        }
+
+    def test_ping_pong(self):
+        assert decode_frame(encode_frame(ping_frame(2.0)))["kind"] == "ping"
+        assert decode_frame(encode_frame(pong_frame(2.0)))["t"] == 2.0

@@ -9,7 +9,7 @@ from repro.core.account import Account
 from repro.core.block import Block, make_genesis
 from repro.core.blockchain import Blockchain
 from repro.core.config import SystemConfig
-from repro.core.errors import ValidationError
+from repro.core.errors import SerializationError, ValidationError
 from repro.core.metadata import create_metadata
 from repro.core.pos import compute_hit, compute_pos_hash, mining_delay
 from repro.core.serialization import (
@@ -236,3 +236,30 @@ class TestStorageWireFormat:
         payload["capacity"] = "plenty"
         with pytest.raises(ValidationError):
             storage_from_dict(payload)
+
+
+class TestChainJsonGuards:
+    """Structural defences of chain_from_json: size and nesting limits."""
+
+    def test_oversized_payload_rejected(self, monkeypatch):
+        import repro.core.serialization as ser
+
+        monkeypatch.setattr(ser, "MAX_CHAIN_JSON_BYTES", 64)
+        with pytest.raises(SerializationError):
+            chain_from_json('{"v": 1, "blocks": ["' + "x" * 64 + '"]}')
+
+    def test_deeply_nested_payload_rejected(self):
+        from repro.core.serialization import MAX_CHAIN_JSON_DEPTH
+
+        nested = "[" * (MAX_CHAIN_JSON_DEPTH + 2) + "]" * (MAX_CHAIN_JSON_DEPTH + 2)
+        with pytest.raises(SerializationError):
+            chain_from_json(nested)
+
+    def test_guard_is_a_validation_error(self):
+        # Existing handlers catch ValidationError; the new typed guard
+        # must flow through them unchanged.
+        assert issubclass(SerializationError, ValidationError)
+
+    def test_honest_chain_passes_guards(self, small_chain):
+        text = chain_to_json(small_chain.blocks)
+        assert [b.index for b in chain_from_json(text)] == [0, 1, 2, 3]

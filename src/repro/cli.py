@@ -15,6 +15,9 @@ Commands:
   workload, and the same metrics/obs artefacts as ``run``.
 * ``live parity`` — the sim/live parity oracle: one seeded workload on
   both runtimes must converge to the identical chain digest.
+* ``chaos run`` — a seeded Byzantine fault-injection scenario (adversary
+  mix + optional churn/partition/kill overlay) on either fabric, ending
+  in a safety/liveness verdict (``chaos_verdict.json``).
 * ``trace summary`` / ``trace export`` / ``trace merge`` — inspect and
   convert the observability artefacts a ``run --obs DIR`` leaves behind.
 * ``report`` — render one observed run's timeline, events, and verdict
@@ -520,6 +523,155 @@ def cmd_live_node(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_adversaries(entries: List[str]) -> dict:
+    """Parse repeated ``--adversary TYPE=ID[,ID...]`` flags."""
+    from repro.chaos import ADVERSARY_TYPES
+
+    adversaries: dict = {}
+    for entry in entries or []:
+        behavior, _, ids = entry.partition("=")
+        behavior = behavior.strip()
+        if behavior not in ADVERSARY_TYPES:
+            raise SystemExit(
+                f"error: unknown adversary {behavior!r} "
+                f"(known: {', '.join(sorted(ADVERSARY_TYPES))})"
+            )
+        try:
+            node_ids = tuple(int(part) for part in ids.split(",") if part.strip())
+        except ValueError:
+            raise SystemExit(f"error: bad node list in --adversary {entry!r}")
+        if not node_ids:
+            raise SystemExit(
+                f"error: --adversary {entry!r} names no nodes "
+                "(expected TYPE=ID[,ID...])"
+            )
+        adversaries[behavior] = adversaries.get(behavior, ()) + node_ids
+    return adversaries
+
+
+def _chaos_spec(args: argparse.Namespace):
+    from repro.chaos import ChaosSpec, PartitionSpec
+    from repro.chaos.scenario import KillPlan
+    from repro.sim.runner import ChurnSpec
+
+    config = replace(
+        PAPER_CONFIG,
+        data_items_per_minute=args.rate,
+        expected_block_interval=args.block_interval,
+        verify_metadata_signatures=args.verify_signatures,
+    )
+    churn = ChurnSpec(node_fraction=args.churn) if args.churn is not None else None
+    partition = None
+    if args.partition:
+        try:
+            at_text, _, heal_text = args.partition.partition(":")
+            partition = PartitionSpec(
+                at_minutes=float(at_text), heal_minutes=float(heal_text)
+            )
+        except ValueError as error:
+            raise SystemExit(
+                f"error: --partition expects AT:HEAL minutes ({error})"
+            )
+    kill = None
+    if args.kill is not None:
+        kill = KillPlan(
+            node_id=args.kill,
+            at_minutes=args.kill_at,
+            down_minutes=args.kill_down,
+        )
+    try:
+        return ChaosSpec(
+            node_count=args.nodes,
+            config=config,
+            seed=args.seed,
+            duration_minutes=args.minutes,
+            adversaries=_parse_adversaries(args.adversary),
+            start_minutes=args.start,
+            stop_minutes=args.stop,
+            churn=churn,
+            partition=partition,
+            kill=kill,
+            fabric=args.fabric,
+            time_scale=args.time_scale,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+
+
+def cmd_chaos_run(args: argparse.Namespace) -> int:
+    session = _obs_enable(args, default_interval=args.block_interval)
+    try:
+        return _cmd_chaos_run_inner(args)
+    finally:
+        if session is not None:
+            _obs_export(session, args)
+
+
+def _cmd_chaos_run_inner(args: argparse.Namespace) -> int:
+    from repro.chaos import run_chaos
+    from repro.chaos.runner import CHAOS_VERDICT_NAME
+
+    spec = _chaos_spec(args)
+    result = run_chaos(spec)
+    verdict = result.verdict
+    mix = (
+        ", ".join(
+            f"{behavior}={list(ids)}"
+            for behavior, ids in sorted(verdict["adversaries"].items())
+        )
+        or "none"
+    )
+    safety = verdict["safety"]
+    liveness = verdict["liveness"]
+    admission = verdict["admission"]
+    rejections = (
+        ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(admission["rejections"].items())
+        )
+        or "-"
+    )
+    print()
+    print(
+        render_table(
+            f"Chaos: {spec.node_count} nodes on {spec.fabric}, "
+            f"{spec.duration_minutes:g} min, seed={spec.seed}",
+            ["field", "value"],
+            [
+                ["verdict", verdict["status"]],
+                ["adversaries", mix],
+                ["safety ok", safety["ok"]],
+                ["liveness ok", liveness["ok"]],
+                ["honest common prefix", liveness["common_prefix_height"]],
+                ["honest height", verdict["honest_height"]],
+                ["honest digest", verdict["honest_digest"][:16]],
+                ["rejections", rejections],
+                ["quarantined peers", admission["quarantined_peers"] or "-"],
+            ],
+        )
+    )
+    for issue in liveness["issues"]:
+        print(f"liveness: {issue}")
+    if not safety["ok"]:
+        for field_name in (
+            "invalid_chains",
+            "checkpoint_violations",
+            "honest_quarantined",
+        ):
+            if safety[field_name]:
+                print(f"SAFETY: {field_name}: {safety[field_name]}", file=sys.stderr)
+        if not safety["genesis_consistent"]:
+            print("SAFETY: honest genesis blocks differ", file=sys.stderr)
+    targets = []
+    if args.json:
+        targets.append(Path(args.json))
+    if args.obs:
+        targets.append(Path(args.obs) / CHAOS_VERDICT_NAME)
+    for target in targets:
+        print(f"wrote {result.write_verdict(target)}")
+    return 1 if verdict["status"] == "critical" else 0
+
+
 def _trace_path(argument: str) -> Path:
     """Accept either an obs directory or a trace file path."""
     path = Path(argument)
@@ -805,6 +957,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared epoch instant at which logical t=0 begins",
     )
     live_node.set_defaults(func=cmd_live_node)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded Byzantine fault-injection scenarios"
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_run = chaos_sub.add_parser(
+        "run",
+        help="run one adversarial scenario and emit a safety/liveness verdict",
+    )
+    chaos_run.add_argument("--nodes", type=int, default=8)
+    chaos_run.add_argument("--minutes", type=float, default=10.0)
+    chaos_run.add_argument("--seed", type=int, default=0)
+    chaos_run.add_argument(
+        "--fabric", choices=["sim", "live"], default="sim",
+        help="simulator (deterministic) or real sockets on localhost",
+    )
+    chaos_run.add_argument(
+        "--adversary", action="append", metavar="TYPE=ID[,ID...]",
+        help="plant adversaries: equivocator, spammer, poisoner, tamperer, "
+             "or flooder at the given node ids (repeatable)",
+    )
+    chaos_run.add_argument(
+        "--start", type=float, default=0.0, metavar="MINUTES",
+        help="minutes into the run the misbehavior switches on (default 0)",
+    )
+    chaos_run.add_argument(
+        "--stop", type=float, default=None, metavar="MINUTES",
+        help="minutes into the run the misbehavior switches off "
+             "(default: active to the end)",
+    )
+    chaos_run.add_argument("--rate", type=float, default=1.0,
+                           help="data items per minute")
+    chaos_run.add_argument("--block-interval", type=float, default=60.0)
+    chaos_run.add_argument(
+        "--verify-signatures", action="store_true",
+        help="enable metadata signature verification (catches the "
+             "tamperer's signature-breaking variant)",
+    )
+    chaos_run.add_argument(
+        "--churn", type=float, default=None, metavar="FRACTION",
+        help="sim only: random churn over this fraction of nodes",
+    )
+    chaos_run.add_argument(
+        "--partition", metavar="AT:HEAL",
+        help="sim only: partition the network in half between these minutes",
+    )
+    chaos_run.add_argument(
+        "--kill", type=int, default=None, metavar="NODE",
+        help="live only: kill this node mid-run and restart it",
+    )
+    chaos_run.add_argument("--kill-at", type=float, default=3.0,
+                           metavar="MINUTES")
+    chaos_run.add_argument("--kill-down", type=float, default=2.0,
+                           metavar="MINUTES")
+    chaos_run.add_argument(
+        "--time-scale", type=float, default=0.02,
+        help="live only: wall seconds per simulated second (default 0.02)",
+    )
+    chaos_run.add_argument(
+        "--json", metavar="PATH", help="also write the verdict to this file"
+    )
+    chaos_run.add_argument(
+        "--obs", metavar="DIR",
+        help="enable observability: trace, metrics, timeline, monitor "
+             "verdict, and chaos_verdict.json in DIR",
+    )
+    chaos_run.add_argument(
+        "--obs-timebase", choices=["wall", "sim"], default="wall",
+        help="timeline for the exported trace: real (wall) or simulated time",
+    )
+    chaos_run.add_argument(
+        "--obs-sample", type=float, metavar="SECONDS",
+        help="simulated seconds between protocol-timeline samples "
+             "(default: the expected block interval)",
+    )
+    chaos_run.set_defaults(func=cmd_chaos_run)
 
     trace = sub.add_parser(
         "trace", help="inspect/convert observability artefacts from `run --obs`"

@@ -25,7 +25,12 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.block import Block, make_genesis
 from repro.core.config import SystemConfig
-from repro.core.errors import ChainLinkError, ConsensusError, ValidationError
+from repro.core.errors import (
+    ChainLinkError,
+    CheckpointError,
+    ConsensusError,
+    ValidationError,
+)
 from repro.core.metadata import MetadataItem
 from repro.crypto.hashing import hash_items
 from repro.core.pos import (
@@ -428,7 +433,7 @@ class Blockchain:
                 index >= len(blocks)
                 or blocks[index].current_hash != self.blocks[index].current_hash
             ):
-                raise ValidationError(
+                raise CheckpointError(
                     f"candidate chain rewrites checkpointed block {index} "
                     f"(checkpoint at {checkpoint})"
                 )

@@ -85,6 +85,21 @@ class SystemConfig:
     #: chain.  None defaults to 2× the interval.
     checkpoint_lag: Optional[int] = None
 
+    # --- adversarial hardening (admission control / quarantine) ---
+    #: Misbehavior score at which a peer is quarantined (no longer
+    #: accepted from or forwarded to).  Honest peers never accumulate
+    #: score, so the default only ever triggers under attack.
+    quarantine_threshold: float = 8.0
+    #: Cap on out-of-order blocks buffered during gap recovery; blocks
+    #: furthest ahead of the tip are evicted first past the limit.
+    sync_buffer_limit: int = 512
+    #: Cap on requested-and-not-yet-received gap indices per recovery.
+    sync_outstanding_limit: int = 256
+    #: Verify producer ECDSA signatures on inbound metadata items.  Off
+    #: by default (pure-Python ECDSA is slow and honest runs never fail
+    #: it); chaos scenarios with metadata tamperers switch it on.
+    verify_metadata_signatures: bool = False
+
     # --- workload (Section VI-A) ---
     data_items_per_minute: float = 1.0
     requester_fraction: float = 0.10
@@ -126,6 +141,12 @@ class SystemConfig:
             raise ValueError("PoW hash rate must be positive")
         if self.initial_tokens < 1.0:
             raise ValueError("new nodes need at least one token (Section V-A)")
+        if self.quarantine_threshold <= 0:
+            raise ValueError("quarantine threshold must be positive")
+        if self.sync_buffer_limit < 1:
+            raise ValueError("sync buffer limit must be at least 1")
+        if self.sync_outstanding_limit < 1:
+            raise ValueError("sync outstanding limit must be at least 1")
 
 
 #: The paper's evaluation configuration.

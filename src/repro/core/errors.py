@@ -19,6 +19,16 @@ class ConsensusError(ValidationError):
     """A PoS hit/target claim does not verify against chain state."""
 
 
+class CheckpointError(ValidationError):
+    """A candidate chain would rewrite a block at or below the last
+    checkpoint (Section V-D's nothing-at-stake mitigation).
+
+    Subclasses :class:`ValidationError` so existing chain-adoption
+    handlers keep rejecting these chains; admission control additionally
+    records the rejection under its own structured reason.
+    """
+
+
 class SerializationError(ValidationError):
     """A serialised payload is structurally unacceptable (oversized,
     absurdly nested, wrong shape) before any content validation runs.

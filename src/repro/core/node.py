@@ -21,11 +21,23 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.account import Account
+from repro.core.admission import (
+    BAD_ALLOCATION,
+    EQUIVOCATION,
+    FLOOD,
+    MAX_REQUEST_INDICES,
+    MAX_RESPONSE_BLOCKS,
+    AdmissionControl,
+    block_admissible,
+    classify_rejection,
+    metadata_admissible,
+)
 from repro.core.allocation import AllocationEngine
 from repro.core.block import Block
 from repro.core.blockchain import Blockchain, BlockOutcome
 from repro.core.config import SystemConfig
-from repro.core.errors import StorageError, ValidationError
+from repro.core.errors import ConsensusError, StorageError, ValidationError
+from repro.obs import runtime as _obs
 from repro.core.messages import (
     CATEGORY_BLOCK,
     CATEGORY_BLOCK_RECOVERY,
@@ -138,7 +150,18 @@ class EdgeNode:
         self.storage.set_last_block(self.chain.tip)
         self.mempool: Dict[str, MetadataItem] = {}
         self.own_payloads: Set[str] = set()
-        self.sync = SyncState()
+        self.sync = SyncState(
+            max_buffered=config.sync_buffer_limit,
+            max_outstanding=config.sync_outstanding_limit,
+        )
+        self.admission = AdmissionControl(
+            quarantine_threshold=config.quarantine_threshold
+        )
+        #: Per-source time of the last fork-triggered chain request;
+        #: repeats within a block interval are suppressed while the first
+        #: response is pending, so an invalid-block spammer cannot goad
+        #: this node into a chain-request storm.
+        self._fork_chain_request_at: Dict[int, float] = {}
         self.counters = NodeCounters()
         self.delivery_times: List[float] = []
         #: (data_id, storing_node) pairs marked invalid by claims
@@ -523,8 +546,11 @@ class EdgeNode:
 
     def handle(self, source: int, payload: object, category: str) -> None:
         """Network delivery entry point."""
+        if self.admission.is_quarantined(source):
+            _obs.add("chaos.dropped_quarantined")
+            return
         if isinstance(payload, MetadataAnnounce):
-            self._on_metadata(payload.metadata)
+            self._on_metadata(source, payload.metadata)
         elif isinstance(payload, BlockAnnounce):
             self._on_block_announce(source, payload.block)
         elif isinstance(payload, DataRequest):
@@ -542,15 +568,24 @@ class EdgeNode:
         elif isinstance(payload, BlockRequest):
             self._on_block_request(source, payload)
         elif isinstance(payload, BlockResponse):
-            self._on_block_response(payload)
+            self._on_block_response(source, payload)
         elif isinstance(payload, ChainRequest):
-            self._on_chain_request(payload)
+            self._on_chain_request(source, payload)
         elif isinstance(payload, ChainResponse):
-            self._on_chain_response(payload)
+            self._on_chain_response(source, payload)
 
     # ------------------------------------------------------------------ handlers
 
-    def _on_metadata(self, item: MetadataItem) -> None:
+    def _on_metadata(self, source: int, item: MetadataItem) -> None:
+        reason = metadata_admissible(
+            item,
+            self.chain.address_of,
+            verify_signature=self.config.verify_metadata_signatures,
+            signature_cache=self.admission.signature_cache,
+        )
+        if reason is not None:
+            self.admission.reject(source, reason)
+            return
         if self.chain.metadata_of(item.data_id) is not None:
             return
         if item.is_expired(self.engine.now):
@@ -579,6 +614,17 @@ class EdgeNode:
         return not violations
 
     def _on_block_announce(self, source: int, block: Block) -> None:
+        reason = block_admissible(block, self.chain.address_of)
+        if reason is not None:
+            self.counters.blocks_rejected += 1
+            self.admission.reject(source, reason)
+            return
+        if self.admission.equivocation.observe(block, self.chain.height):
+            # One miner, one height, two distinct blocks: nothing-at-stake
+            # equivocation.  The block is dropped and the miner charged.
+            self.counters.blocks_rejected += 1
+            self.admission.reject(block.miner, EQUIVOCATION)
+            return
         tip = self.chain.tip
         if (
             block.index == tip.index + 1
@@ -586,10 +632,23 @@ class EdgeNode:
             and not self._allocations_acceptable(block)
         ):
             self.counters.blocks_rejected += 1
+            # Allocation re-derivation uses the *current* topology, which
+            # under mobility can lag the miner's view — count the
+            # rejection but charge nobody (see DESIGN.md §11).
+            self.admission.reject(None, BAD_ALLOCATION)
             return
         if block.index == tip.index + 1 and block.previous_hash != tip.current_hash:
             # Fork at the next height: our tip and the miner's parent differ.
-            # Longest-chain resolution: fetch the sender's chain.
+            # Longest-chain resolution: fetch the sender's chain — at most
+            # once per block interval per source while a response is
+            # pending, so forged forks cannot amplify into request storms.
+            last = self._fork_chain_request_at.get(source)
+            if (
+                last is not None
+                and self.engine.now - last < self.config.expected_block_interval
+            ):
+                return
+            self._fork_chain_request_at[source] = self.engine.now
             request = ChainRequest(origin=self.node_id)
             self.network.send(
                 self.node_id, source, request, request.wire_size(), CATEGORY_CHAIN_SYNC
@@ -597,8 +656,9 @@ class EdgeNode:
             return
         try:
             outcome = self.chain.consider_block(block)
-        except ValidationError:
+        except ValidationError as error:
             self.counters.blocks_rejected += 1
+            self.admission.reject(source, classify_rejection(error))
             return
         if outcome is BlockOutcome.APPENDED:
             self._bill_pos_wait()
@@ -606,13 +666,13 @@ class EdgeNode:
             self._drain_sync_buffer()
             self._schedule_mining()
         elif outcome is BlockOutcome.GAP:
-            self._start_gap_recovery(block)
+            self._start_gap_recovery(block, source)
         # DUPLICATE / STALE: drop (first-received wins at equal height).
 
-    def _start_gap_recovery(self, block: Block) -> None:
+    def _start_gap_recovery(self, block: Block, source: Optional[int] = None) -> None:
         """Buffer an ahead-of-tip block and request the gap (Section IV-D)."""
         self.sync.begin(self.engine.now)
-        self.sync.buffer_block(block)
+        self.sync.buffer_block(block, source)
         self._request_missing_blocks()
         # Escalation: if targeted recovery has stalled for two block
         # intervals (requested blocks never arrived — e.g. their storing
@@ -646,6 +706,7 @@ class EdgeNode:
             node
             for node in self.topology.neighbors(self.node_id)
             if self.network.is_online(node)
+            and not self.admission.is_quarantined(node)
         ]
         plan = plan_block_requests(missing, neighbors)
         for neighbor, indices in plan.items():
@@ -673,6 +734,16 @@ class EdgeNode:
                 continue
             try:
                 outcome = self.chain.consider_block(nxt)
+            except ConsensusError as error:
+                # The block links to our tip but its PoS claim fails — that
+                # is provably forged regardless of forks (the claim is
+                # deterministic in the shared parent state).  Charge the
+                # peer that delivered it and do not react further.
+                delivered_by = self.sync.source_of(nxt.index)
+                self.sync.pop(nxt.index)
+                self.counters.blocks_rejected += 1
+                self.admission.reject(delivered_by, classify_rejection(error))
+                continue
             except ValidationError:
                 # The recovered block does not build on our chain: we hold a
                 # stale fork (we went offline on the losing branch).  Escalate
@@ -703,6 +774,12 @@ class EdgeNode:
                 self._request_missing_blocks()
 
     def _on_block_request(self, source: int, request: BlockRequest) -> None:
+        if len(request.indices) > MAX_REQUEST_INDICES:
+            self.admission.reject(source, FLOOD)
+            return
+        if not self.admission.request_rate.allow(source, self.engine.now):
+            self.admission.reject(source, FLOOD)
+            return
         served: List[Block] = []
         unsatisfied: List[int] = []
         for index in request.indices:
@@ -730,6 +807,7 @@ class EdgeNode:
                     for node in self.chain.state.block_storing.get(index, ())
                     if node not in (self.node_id, request.origin, source)
                     and self.network.is_online(node)
+                    and not self.admission.is_quarantined(node)
                 ]
                 if not holders:
                     continue
@@ -747,14 +825,29 @@ class EdgeNode:
                     CATEGORY_BLOCK_RECOVERY,
                 )
 
-    def _on_block_response(self, response: BlockResponse) -> None:
+    def _on_block_response(self, source: int, response: BlockResponse) -> None:
+        if len(response.blocks) > MAX_RESPONSE_BLOCKS:
+            self.admission.reject(source, FLOOD)
+            return
         for block in sorted(response.blocks, key=lambda b: b.index):
             if block.index <= self.chain.height:
                 continue
-            self.sync.buffer_block(block)
+            reason = block_admissible(block, self.chain.address_of)
+            if reason is not None:
+                # Poisoned sync response: drop the block before it ever
+                # enters the recovery buffer, and charge the sender.
+                self.counters.blocks_rejected += 1
+                self.admission.reject(source, reason)
+                continue
+            self.sync.buffer_block(block, source)
         self._drain_sync_buffer()
 
-    def _on_chain_request(self, request: ChainRequest) -> None:
+    def _on_chain_request(self, source: int, request: ChainRequest) -> None:
+        if not self.admission.chain_rate.allow(source, self.engine.now):
+            # Whole-chain responses are the heaviest reply a peer can goad
+            # us into; cap how often any one peer can ask.
+            self.admission.reject(source, FLOOD)
+            return
         response = ChainResponse(blocks=tuple(self.chain.blocks))
         self.network.send(
             self.node_id,
@@ -808,15 +901,22 @@ class EdgeNode:
                 return False
         return True
 
-    def _on_chain_response(self, response: ChainResponse) -> None:
+    def _on_chain_response(self, source: int, response: ChainResponse) -> None:
+        self._fork_chain_request_at.pop(source, None)
         if not self._chain_allocations_acceptable(response.blocks):
             self.counters.blocks_rejected += 1
+            self.admission.reject(None, BAD_ALLOCATION)
             return
         old_metadata = dict(self.chain.state.metadata_index)
         try:
             replaced = self.chain.consider_chain(list(response.blocks))
-        except ValidationError:
+        except ValidationError as error:
+            # A candidate chain that fails genesis/checkpoint/replay
+            # validation is provably bogus — honest peers always ship a
+            # replayable chain sharing our genesis, and the checkpoint lag
+            # keeps honest forks above the rewrite horizon.
             self.counters.blocks_rejected += 1
+            self.admission.reject(source, classify_rejection(error))
             return
         if replaced:
             if self.sync.recovering:

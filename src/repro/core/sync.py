@@ -40,6 +40,17 @@ class SyncState:
     #: Whether this recovery already escalated to a whole-chain request
     #: (fork detected while draining); prevents request storms.
     chain_requested: bool = False
+    #: Cap on ``buffered``; blocks furthest ahead of the tip (the lowest
+    #: priority — they are appendable last) are evicted past the limit,
+    #: so a flooder cannot grow the buffer without bound.
+    max_buffered: int = 512
+    #: Cap on ``outstanding``; requests past the limit are not issued.
+    max_outstanding: int = 256
+    #: Out-of-order blocks evicted because the buffer was full.
+    evicted: int = 0
+    #: Which peer delivered each buffered block (for misbehavior
+    #: attribution when a buffered block later fails validation).
+    sources: Dict[int, int] = field(default_factory=dict)
 
     @property
     def recovering(self) -> bool:
@@ -49,12 +60,19 @@ class SyncState:
         if self.started_at is None:
             self.started_at = now
 
-    def buffer_block(self, block: Block) -> None:
+    def buffer_block(self, block: Block, source: Optional[int] = None) -> None:
         """Hold an out-of-order block until the gap below it fills."""
         existing = self.buffered.get(block.index)
         if existing is None:
             self.buffered[block.index] = block
+            if source is not None:
+                self.sources[block.index] = source
         self.outstanding.discard(block.index)
+        while len(self.buffered) > self.max_buffered:
+            furthest = max(self.buffered)
+            self.buffered.pop(furthest)
+            self.sources.pop(furthest, None)
+            self.evicted += 1
 
     def missing_below(self, tip_index: int) -> List[int]:
         """Gap indices between the tip and the highest buffered block."""
@@ -73,11 +91,27 @@ class SyncState:
 
     def pop(self, index: int) -> None:
         self.buffered.pop(index, None)
+        self.sources.pop(index, None)
+
+    def source_of(self, index: int) -> Optional[int]:
+        """The peer that delivered the buffered block at ``index``, if known."""
+        return self.sources.get(index)
 
     def note_requested(self, indices: Tuple[int, ...]) -> List[int]:
-        """Mark indices as requested; returns only the newly requested ones."""
-        fresh = [i for i in indices if i not in self.outstanding]
-        self.outstanding.update(fresh)
+        """Mark indices as requested; returns only the newly requested ones.
+
+        Stops adding once ``max_outstanding`` is reached, bounding the
+        re-request rate — remaining gaps are picked up by later rounds
+        once earlier requests resolve.
+        """
+        fresh = []
+        for i in indices:
+            if i in self.outstanding:
+                continue
+            if len(self.outstanding) >= self.max_outstanding:
+                break
+            self.outstanding.add(i)
+            fresh.append(i)
         return fresh
 
     def finish(self, now: float) -> Optional[float]:
@@ -94,6 +128,7 @@ class SyncState:
     def reset(self) -> None:
         """Abandon any in-flight recovery (e.g. chain replaced wholesale)."""
         self.buffered.clear()
+        self.sources.clear()
         self.outstanding.clear()
         self.started_at = None
         self.chain_requested = False

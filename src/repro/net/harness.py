@@ -109,6 +109,9 @@ class LiveSpec:
     base_port: int = 0
     kill: Optional[KillSpec] = None
     peer_config: Optional[PeerConfig] = None
+    #: Per-node EdgeNode subclass overrides (adversaries, instrumented
+    #: nodes) — the live mirror of ``ExperimentSpec.node_classes``.
+    node_classes: Optional[Dict[int, type]] = None
 
     def __post_init__(self) -> None:
         if self.node_count < 2:
@@ -121,6 +124,9 @@ class LiveSpec:
             0 <= self.kill.node_id < self.node_count
         ):
             raise ValueError("kill target out of range")
+        for node_id in self.node_classes or {}:
+            if not 0 <= node_id < self.node_count:
+                raise ValueError(f"node class override for unknown node {node_id}")
 
     @property
     def duration_seconds(self) -> float:
@@ -250,7 +256,8 @@ class LiveNode:
             trace=trace,
         )
         allocator = AllocationEngine(spec.config, rng=self.engine.np_rng)
-        self.node = EdgeNode(
+        node_cls = (spec.node_classes or {}).get(node_id, EdgeNode)
+        self.node = node_cls(
             node_id=node_id,
             account=workload.accounts[node_id],
             config=spec.config,

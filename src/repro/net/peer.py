@@ -148,6 +148,7 @@ class PeerManager:
         self._peers: Dict[int, PeerState] = {}
         self._dial_targets: Dict[int, tuple] = {}  # peer id -> (host, port)
         self._dial_tasks: Dict[int, asyncio.Task] = {}
+        self._dial_attempts: Dict[int, int] = {}  # peer id -> failed attempts
         self._server: Optional[asyncio.AbstractServer] = None
         self._closed = False
         # Counters mirrored into obs when enabled.
@@ -213,9 +214,26 @@ class PeerManager:
                 raise TimeoutError(f"peers never connected: {missing}")
             await asyncio.sleep(0.01)
 
-    async def _dial_loop(self, peer_id: int) -> None:
-        attempt = 0
+    def _next_dial_delay(self, peer_id: int) -> float:
+        """Backoff delay before the next dial to ``peer_id``; advances the schedule.
+
+        Failed attempts persist across dial loops and reset only on a
+        successful handshake (:meth:`_adopt`), so a peer that accepts TCP
+        connects but keeps failing the handshake continues backing off
+        instead of restarting the schedule from the base delay.
+        """
         cfg = self.config
+        attempt = self._dial_attempts.get(peer_id, 0)
+        self._dial_attempts[peer_id] = attempt + 1
+        return reconnect_backoff(
+            attempt,
+            base=cfg.reconnect_base,
+            cap=cfg.reconnect_cap,
+            jitter=cfg.reconnect_jitter,
+            rng=self._rng,
+        )
+
+    async def _dial_loop(self, peer_id: int) -> None:
         while not self._closed and peer_id not in self._peers:
             host, port = self._dial_targets[peer_id]
             try:
@@ -226,7 +244,7 @@ class PeerManager:
                     raise WireError(
                         f"dialed node {peer_id} but peer claims id {info.node_id}"
                     )
-                if attempt > 0:
+                if self._dial_attempts.get(peer_id, 0) > 0:
                     self.reconnects += 1
                     _obs.add("net.reconnects")
                 _obs.observe(
@@ -236,15 +254,7 @@ class PeerManager:
                 self._adopt(info, reader, writer, decoder, preamble)
                 return
             except (OSError, WireError, asyncio.TimeoutError, TimeoutError):
-                delay = reconnect_backoff(
-                    attempt,
-                    base=cfg.reconnect_base,
-                    cap=cfg.reconnect_cap,
-                    jitter=cfg.reconnect_jitter,
-                    rng=self._rng,
-                )
-                attempt += 1
-                await asyncio.sleep(delay)
+                await asyncio.sleep(self._next_dial_delay(peer_id))
         self._dial_tasks.pop(peer_id, None)
 
     # -- handshake -----------------------------------------------------------------
@@ -325,6 +335,8 @@ class PeerManager:
         )
         self._peers[info.node_id] = peer
         self._dial_tasks.pop(info.node_id, None)
+        # Successful handshake: the backoff schedule starts over.
+        self._dial_attempts.pop(info.node_id, None)
         peer.tasks = [
             asyncio.ensure_future(self._reader_loop(peer, decoder, preamble)),
             asyncio.ensure_future(self._writer_loop(peer)),

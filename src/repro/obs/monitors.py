@@ -22,6 +22,12 @@ catalogue (see DESIGN.md §9):
   signals timeout/partition trouble.
 * **coverage-drop** — recent blocks are supposed to be pervasively
   stored (Section IV-C); a coverage collapse defeats offline recovery.
+* **admission-rejections** — honest traffic passes every admission
+  check, so any rejection means forged or flooded inbound messages
+  (DESIGN.md §11's threat model); the monitor flags windows in which
+  rejections are actively accruing.
+* **peer-quarantine** — peers past the misbehavior threshold are cut
+  off; any active quarantine entry is a standing degradation.
 
 :class:`MonitorSuite` fans samples out to every monitor, accumulates the
 events, and renders a machine-readable end-of-run :meth:`verdict`.
@@ -329,6 +335,61 @@ class CoverageMonitor(Monitor):
         return ("ok", f"recent-block coverage {coverage:.2f}", coverage, self.warn_floor)
 
 
+class AdmissionRejectionMonitor(Monitor):
+    """Warn while admission rejections are actively accruing.
+
+    The counter is cumulative across the cluster, so the monitor levels
+    on its *delta* between samples: an attack window shows up as one
+    warning event when rejections start and one recovery event after the
+    adversary stops.  Honest runs never reject, so this never fires.
+    """
+
+    name = "admission-rejections"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last = 0
+
+    def level(self, sample: Dict[str, Any]) -> tuple:
+        total = sample.get("chaos_rejections")
+        if total is None:
+            return ("ok", "no admission data", None, None)
+        fresh = total - self._last
+        self._last = total
+        if fresh > 0:
+            return (
+                "warning",
+                f"{fresh} inbound message(s) rejected since last sample "
+                f"({total} total)",
+                float(fresh),
+                0.0,
+            )
+        return ("ok", f"no new rejections ({total} total)", 0.0, 0.0)
+
+
+class QuarantineMonitor(Monitor):
+    """Warn while any peer-quarantine entry is active.
+
+    Quarantine is sticky for the rest of the run, so unlike the
+    rejection monitor this reflects a *standing* state, not a rate.
+    """
+
+    name = "peer-quarantine"
+
+    def level(self, sample: Dict[str, Any]) -> tuple:
+        count = sample.get("chaos_quarantined")
+        if count is None:
+            return ("ok", "no admission data", None, None)
+        if count > 0:
+            return (
+                "warning",
+                f"{count} peer-quarantine entr{'y' if count == 1 else 'ies'} active",
+                float(count),
+                0.0,
+            )
+        return ("ok", "no peers quarantined", 0.0, 0.0)
+
+
 class MonitorSuite:
     """All monitors for a run, plus the accumulated event stream."""
 
@@ -348,6 +409,8 @@ class MonitorSuite:
                 StakeConcentrationMonitor(),
                 LeaderFlapMonitor(),
                 CoverageMonitor(),
+                AdmissionRejectionMonitor(),
+                QuarantineMonitor(),
             ]
         )
 

@@ -125,6 +125,28 @@ class RuntimeProbe:
             return math.nan
         return sum(tokens[:STAKE_TOP_K]) / total
 
+    def _chaos_fields(self) -> Dict[str, Any]:
+        """Cluster-wide admission-control totals (0 on honest runs).
+
+        Works against both fabrics: sim clusters expose ``nodes`` as a
+        list of :class:`EdgeNode`, the live harness as a dict of
+        ``LiveNode`` wrappers with a ``.node`` attribute.
+        """
+        nodes = getattr(self._cluster, "nodes", None)
+        if nodes is None:
+            return {"chaos_rejections": None, "chaos_quarantined": None}
+        members = nodes.values() if isinstance(nodes, dict) else nodes
+        rejections = 0
+        quarantined = 0
+        for member in members:
+            node = getattr(member, "node", member)
+            admission = getattr(node, "admission", None)
+            if admission is None:
+                continue
+            rejections += admission.total_rejections
+            quarantined += len(admission.quarantined)
+        return {"chaos_rejections": rejections, "chaos_quarantined": quarantined}
+
     def _recent_coverage(self, chain: Any) -> float:
         """Average holder fraction over the newest ``COVERAGE_WINDOW`` blocks.
 
@@ -176,6 +198,7 @@ class RuntimeProbe:
             "stake_topk_share": self._stake_top_share(state),
             "coverage_recent": self._recent_coverage(chain),
             "queue_depth": cluster.engine.queue_depth,
+            **self._chaos_fields(),
         }
 
 

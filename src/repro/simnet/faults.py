@@ -54,7 +54,27 @@ class ChurnInjector:
         return list(self._events)
 
     def plan(self, event: ChurnEvent) -> None:
-        """Schedule one disconnection window."""
+        """Schedule one disconnection window.
+
+        Rejects windows starting in the past and windows overlapping an
+        already-planned window for the same node — either would corrupt
+        the up/down state machine (a node brought "up" inside another
+        window's downtime, or a transition the engine refuses to fire).
+        """
+        if event.down_at < self._engine.now:
+            raise ValueError(
+                f"churn window for node {event.node} starts at {event.down_at:.3f}, "
+                f"before the current time {self._engine.now:.3f}"
+            )
+        for planned in self._events:
+            if planned.node != event.node:
+                continue
+            if event.down_at < planned.up_at and planned.down_at < event.up_at:
+                raise ValueError(
+                    f"churn window [{event.down_at:.3f}, {event.up_at:.3f}] for "
+                    f"node {event.node} overlaps planned window "
+                    f"[{planned.down_at:.3f}, {planned.up_at:.3f}]"
+                )
         self._events.append(event)
         self._engine.call_at(event.down_at, self._take_down, event.node)
         self._engine.call_at(event.up_at, self._bring_up, event.node)
@@ -79,7 +99,7 @@ class ChurnInjector:
             starts = sorted(float(rng.uniform(0, horizon)) for _ in range(count))
             last_up = 0.0
             for start in starts:
-                down_at = max(start, last_up + 1e-6)
+                down_at = max(start, last_up + 1e-6, self._engine.now)
                 if down_at > horizon:
                     break  # the non-overlap shift pushed past the horizon
                 duration = float(rng.exponential(mean_downtime))
@@ -111,14 +131,49 @@ class PartitionInjector:
     topology: edges crossing the partition are removed and restored on heal.
     """
 
-    def __init__(self, network: Network):
+    def __init__(self, network: Network, engine: Optional[EventEngine] = None):
         self._network = network
+        self._engine = engine
         self._removed: List[Tuple[int, int]] = []
         self._active = False
+        self._windows: List[Tuple[float, float]] = []
 
     @property
     def active(self) -> bool:
         return self._active
+
+    def schedule(
+        self,
+        group_a: List[int],
+        group_b: List[int],
+        at: float,
+        heal_at: float,
+    ) -> None:
+        """Plan a partition window ``[at, heal_at)`` on the event engine.
+
+        Windows in the past, inverted windows, and windows overlapping an
+        already-scheduled one are rejected up front — only one partition
+        can be active at a time, and a mid-run :exc:`RuntimeError` from
+        :meth:`partition` would be far harder to diagnose.
+        """
+        if self._engine is None:
+            raise ValueError("scheduling requires an engine")
+        if at < self._engine.now:
+            raise ValueError(
+                f"partition window starts at {at:.3f}, before the current "
+                f"time {self._engine.now:.3f}"
+            )
+        if heal_at <= at:
+            raise ValueError("partition heal must come after the split")
+        for start, stop in self._windows:
+            if at < stop and start < heal_at:
+                raise ValueError(
+                    f"partition window [{at:.3f}, {heal_at:.3f}] overlaps "
+                    f"scheduled window [{start:.3f}, {stop:.3f}]"
+                )
+        self._windows.append((at, heal_at))
+        self._engine.call_at(at, self.partition, list(group_a), list(group_b))
+        self._engine.call_at(heal_at, self.heal)
 
     def partition(self, group_a: List[int], group_b: List[int]) -> int:
         """Cut all edges between the two groups; returns edges removed."""

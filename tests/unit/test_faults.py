@@ -105,3 +105,86 @@ class TestPartitionInjector:
     def test_heal_without_partition_is_noop(self, net):
         _, network = net
         PartitionInjector(network).heal()
+
+
+class TestChurnScheduleValidation:
+    def test_window_in_the_past_rejected(self, net):
+        engine, network = net
+        engine.run_until(10.0)
+        injector = ChurnInjector(engine, network)
+        with pytest.raises(ValueError, match="before the current time"):
+            injector.plan(ChurnEvent(node=0, down_at=5.0, up_at=8.0))
+
+    def test_overlapping_windows_same_node_rejected(self, net):
+        engine, network = net
+        injector = ChurnInjector(engine, network)
+        injector.plan(ChurnEvent(node=0, down_at=1.0, up_at=5.0))
+        with pytest.raises(ValueError, match="overlaps"):
+            injector.plan(ChurnEvent(node=0, down_at=4.0, up_at=7.0))
+
+    def test_overlapping_windows_different_nodes_allowed(self, net):
+        engine, network = net
+        injector = ChurnInjector(engine, network)
+        injector.plan(ChurnEvent(node=0, down_at=1.0, up_at=5.0))
+        injector.plan(ChurnEvent(node=1, down_at=4.0, up_at=7.0))
+        assert len(injector.planned_events) == 2
+
+    def test_adjacent_windows_same_node_allowed(self, net):
+        engine, network = net
+        injector = ChurnInjector(engine, network)
+        injector.plan(ChurnEvent(node=0, down_at=1.0, up_at=5.0))
+        injector.plan(ChurnEvent(node=0, down_at=5.0, up_at=7.0))
+        assert len(injector.planned_events) == 2
+
+
+class TestPartitionSchedule:
+    def test_scheduled_split_and_heal(self, net):
+        engine, network = net
+        injector = PartitionInjector(network, engine)
+        injector.schedule([0, 1], [2, 3], at=2.0, heal_at=5.0)
+        engine.run_until(1.0)
+        assert network.send(0, 3, "x", 1, "t").delivered
+        engine.run_until(3.0)
+        assert not network.send(0, 3, "x", 1, "t").delivered
+        assert injector.active
+        engine.run_until(6.0)
+        assert network.send(0, 3, "x", 1, "t").delivered
+        assert not injector.active
+
+    def test_schedule_requires_engine(self, net):
+        _, network = net
+        with pytest.raises(ValueError, match="engine"):
+            PartitionInjector(network).schedule([0], [3], at=1.0, heal_at=2.0)
+
+    def test_window_in_the_past_rejected(self, net):
+        engine, network = net
+        engine.run_until(10.0)
+        with pytest.raises(ValueError, match="before the current time"):
+            PartitionInjector(network, engine).schedule(
+                [0], [3], at=5.0, heal_at=8.0
+            )
+
+    def test_inverted_window_rejected(self, net):
+        engine, network = net
+        with pytest.raises(ValueError, match="after the split"):
+            PartitionInjector(network, engine).schedule(
+                [0], [3], at=5.0, heal_at=5.0
+            )
+
+    def test_overlapping_windows_rejected(self, net):
+        engine, network = net
+        injector = PartitionInjector(network, engine)
+        injector.schedule([0], [3], at=1.0, heal_at=5.0)
+        with pytest.raises(ValueError, match="overlaps"):
+            injector.schedule([0], [2], at=4.0, heal_at=7.0)
+
+    def test_back_to_back_windows_allowed(self, net):
+        engine, network = net
+        injector = PartitionInjector(network, engine)
+        injector.schedule([0, 1], [2, 3], at=1.0, heal_at=3.0)
+        injector.schedule([0, 1], [2, 3], at=3.0, heal_at=5.0)
+        engine.run_until(4.0)
+        assert injector.active
+        engine.run_until(6.0)
+        assert not injector.active
+        assert network.send(0, 3, "x", 1, "t").delivered

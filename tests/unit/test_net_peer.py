@@ -1,10 +1,12 @@
 """Unit tests for the reconnect backoff schedule and peer tunables."""
 
+import asyncio
 import random
 
 import pytest
 
-from repro.net.peer import PeerConfig, reconnect_backoff
+from repro.net.peer import HandshakeInfo, PeerConfig, PeerManager, reconnect_backoff
+from repro.net.wire import FrameDecoder
 
 
 class TestReconnectBackoff:
@@ -61,3 +63,61 @@ def test_peer_config_defaults_are_sane():
     assert config.heartbeat_misses >= 1
     assert config.send_queue_frames > 0
     assert config.reconnect_base < config.reconnect_cap
+
+
+class TestDialAttemptSchedule:
+    """The per-peer attempt counter drives the backoff and resets on handshake."""
+
+    def _manager(self):
+        config = PeerConfig(
+            reconnect_base=0.05, reconnect_cap=2.0, reconnect_jitter=0.0
+        )
+        return PeerManager(
+            node_id=0,
+            genesis_digest="g",
+            on_message=lambda source, frame: None,
+            config=config,
+        )
+
+    def test_delays_advance_per_peer(self):
+        manager = self._manager()
+        delays = [manager._next_dial_delay(7) for _ in range(6)]
+        assert delays == [0.05, 0.1, 0.2, 0.4, 0.8, 1.6]
+        # Each peer gets its own schedule.
+        assert manager._next_dial_delay(8) == 0.05
+        assert manager._dial_attempts == {7: 6, 8: 1}
+
+    def test_schedule_persists_across_dial_loops(self):
+        # Unlike a loop-local counter, the schedule survives a dial loop
+        # restarting: a peer that keeps failing handshakes does not get
+        # the base delay back just because a fresh loop started.
+        manager = self._manager()
+        for _ in range(4):
+            manager._next_dial_delay(3)
+        assert manager._next_dial_delay(3) == 0.8
+
+    def test_successful_handshake_resets_schedule(self):
+        class _DummyWriter:
+            def write(self, data):
+                pass
+
+            async def drain(self):
+                pass
+
+            def close(self):
+                pass
+
+        async def scenario():
+            manager = self._manager()
+            for _ in range(5):
+                manager._next_dial_delay(7)
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            info = HandshakeInfo(node_id=7, genesis_digest="g", listen_port=1)
+            manager._adopt(info, reader, _DummyWriter(), FrameDecoder(), [])
+            assert 7 not in manager._dial_attempts
+            # The next failure after a reset starts from the base delay.
+            assert manager._next_dial_delay(7) == 0.05
+            await manager.close()
+
+        asyncio.run(scenario())

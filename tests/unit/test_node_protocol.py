@@ -66,11 +66,48 @@ class TestForkHandling:
         world.engine.run_until(world.engine.now + 5.0)
         node = world.nodes[0]
         old = node.chain.blocks[1]
-        competitor = dataclasses.replace(old, timestamp=old.timestamp + 0.5, current_hash="")
+        # A *different* miner's late competitor at an old height is plain
+        # stale — dropped without a rejection (first-received wins).
+        other = next(
+            n
+            for n in world.node_ids
+            if n != old.miner and (1, n) not in node.admission.equivocation.seen
+        )
+        competitor = dataclasses.replace(
+            old,
+            miner=other,
+            miner_address=node.chain.address_of[other],
+            timestamp=old.timestamp + 0.5,
+            current_hash="",
+        )
         rejected_before = node.counters.blocks_rejected
-        node._on_block_announce(source=1, block=competitor)
+        node._on_block_announce(source=other, block=competitor)
         assert node.counters.blocks_rejected == rejected_before
         assert node.chain.blocks[1].current_hash == old.current_hash
+
+    def test_same_miner_twin_rejected_as_equivocation(self, world):
+        run_to_height(world, 3)
+        world.engine.run_until(world.engine.now + 5.0)
+        node = world.nodes[0]
+        mined = next(
+            (
+                b
+                for b in reversed(node.chain.blocks)
+                if b.miner not in (-1, node.node_id)
+                and (b.index, b.miner) in node.admission.equivocation.seen
+            ),
+            None,
+        )
+        if mined is None:
+            pytest.skip("node 0 mined every block at this seed")
+        twin = dataclasses.replace(
+            mined, timestamp=mined.timestamp + 0.5, current_hash=""
+        )
+        tip_before = node.chain.tip.current_hash
+        node._on_block_announce(source=mined.miner, block=twin)
+        assert node.admission.rejections.get("equivocation", 0) >= 1
+        assert node.admission.scores.get(mined.miner, 0.0) > 0
+        assert node.chain.tip.current_hash == tip_before
 
 
 class TestBlockRequestServing:
@@ -170,7 +207,7 @@ class TestDisseminationEdgeCases:
         run_to_height(world, 2)
         node = world.nodes[3]
         bytes_before = world.network.trace.category_bytes("chain_sync")
-        node._on_chain_request(ChainRequest(origin=0))
+        node._on_chain_request(0, ChainRequest(origin=0))
         assert world.network.trace.category_bytes("chain_sync") > bytes_before
 
     def test_unsolicited_nack_ignored(self, world):
@@ -183,5 +220,5 @@ class TestDisseminationEdgeCases:
         world.engine.run_until(world.engine.now + 5.0)
         node = world.nodes[4]
         stale = BlockResponse(blocks=(node.chain.blocks[1],))
-        node._on_block_response(stale)
+        node._on_block_response(0, stale)
         assert not node.sync.buffered

@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.obs.monitors import (
+    AdmissionRejectionMonitor,
     ChainStallMonitor,
     CoverageMonitor,
     FairnessMonitor,
@@ -12,6 +13,7 @@ from repro.obs.monitors import (
     LeaderFlapMonitor,
     MonitorEvent,
     MonitorSuite,
+    QuarantineMonitor,
     StakeConcentrationMonitor,
     read_events,
     read_verdict,
@@ -143,6 +145,33 @@ class TestCoverage:
         assert monitor.level(sample(0.0, coverage_recent=None))[0] == "ok"
 
 
+class TestAdmissionRejections:
+    def test_levels_on_the_delta_not_the_total(self):
+        monitor = AdmissionRejectionMonitor()
+        assert monitor.level(sample(0.0, chaos_rejections=0))[0] == "ok"
+        assert monitor.level(sample(30.0, chaos_rejections=4))[0] == "warning"
+        # The cumulative total stays high, but no *new* rejections: ok.
+        assert monitor.level(sample(60.0, chaos_rejections=4))[0] == "ok"
+        assert monitor.level(sample(90.0, chaos_rejections=9))[0] == "warning"
+
+    def test_missing_field_is_ok(self):
+        monitor = AdmissionRejectionMonitor()
+        assert monitor.level(sample(0.0, chaos_rejections=None))[0] == "ok"
+
+
+class TestQuarantine:
+    def test_standing_state_warns_while_active(self):
+        monitor = QuarantineMonitor()
+        assert monitor.level(sample(0.0, chaos_quarantined=0))[0] == "ok"
+        assert monitor.level(sample(30.0, chaos_quarantined=2))[0] == "warning"
+        # Sticky for the run: stays warning while entries remain.
+        assert monitor.level(sample(60.0, chaos_quarantined=2))[0] == "warning"
+
+    def test_missing_field_is_ok(self):
+        monitor = QuarantineMonitor()
+        assert monitor.level(sample(0.0, chaos_quarantined=None))[0] == "ok"
+
+
 class TestMonitorSuite:
     def test_for_config_builds_the_full_catalogue(self):
         suite = MonitorSuite.for_config(make_config(expected_block_interval=20.0))
@@ -150,6 +179,7 @@ class TestMonitorSuite:
         assert names == {
             "chain-stall", "interval-drift", "fairness-pressure",
             "stake-concentration", "leader-flap", "coverage-drop",
+            "admission-rejections", "peer-quarantine",
         }
         stall = next(m for m in suite.monitors if m.name == "chain-stall")
         assert stall.stall_after == pytest.approx(100.0)  # 5 · t0

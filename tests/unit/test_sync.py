@@ -93,6 +93,51 @@ class TestSyncState:
         assert sync.buffered[3] is first
 
 
+class TestBoundedBuffers:
+    def test_buffer_cap_evicts_furthest_ahead(self):
+        sync = SyncState(max_buffered=3)
+        for index in (4, 5, 6):
+            sync.buffer_block(blockish(index))
+        sync.buffer_block(blockish(3))
+        # Index 6 is appendable last, so it is the one sacrificed.
+        assert sorted(sync.buffered) == [3, 4, 5]
+        assert sync.evicted == 1
+
+    def test_eviction_drops_source_attribution_too(self):
+        sync = SyncState(max_buffered=2)
+        sync.buffer_block(blockish(4), source=10)
+        sync.buffer_block(blockish(5), source=11)
+        sync.buffer_block(blockish(3), source=12)
+        assert sync.source_of(5) is None
+        assert sync.source_of(3) == 12
+
+    def test_duplicate_buffer_keeps_first_source(self):
+        sync = SyncState()
+        sync.buffer_block(blockish(3), source=10)
+        sync.buffer_block(blockish(3), source=11)
+        assert sync.source_of(3) == 10
+
+    def test_pop_clears_source(self):
+        sync = SyncState()
+        sync.buffer_block(blockish(3), source=10)
+        sync.pop(3)
+        assert sync.source_of(3) is None
+
+    def test_reset_clears_sources(self):
+        sync = SyncState()
+        sync.buffer_block(blockish(3), source=10)
+        sync.reset()
+        assert sync.sources == {}
+
+    def test_outstanding_cap_bounds_requests(self):
+        sync = SyncState(max_outstanding=3)
+        assert sync.note_requested((1, 2, 3, 4, 5)) == [1, 2, 3]
+        assert sync.note_requested((6,)) == []
+        # Resolving one outstanding index frees budget for another.
+        sync.buffer_block(blockish(2))
+        assert sync.note_requested((6,)) == [6]
+
+
 class TestPlanBlockRequests:
     def test_round_robin_over_neighbors(self):
         plan = plan_block_requests([1, 2, 3, 4], neighbors=[10, 20], fan_out=2)

@@ -1,0 +1,98 @@
+"""Federation scale sweep: clusters × nodes throughput and queue depth.
+
+The point of sharding the edge into K clusters under a fog tier is that
+aggregate throughput grows with K while each cluster's load stays flat —
+every shard mines its own chain against its own workload, and only
+bloom-summarized directory traffic crosses the fog. The sweep pins both
+halves: ``aggregate_items_per_minute`` must grow monotonically in K, and
+the deepest per-cluster mempool must stay bounded instead of growing
+with federation size.
+
+The resulting grid is merged into the repo-root ``BENCH_headline.json``
+under a ``federation`` key (read-modify-write — the single-cluster
+headline record is preserved).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+from repro.core.config import PAPER_CONFIG
+from repro.federation import FederationSpec, run_federation
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_HEADLINE_NAME = "BENCH_headline.json"
+
+#: Cluster counts swept at a fixed per-cluster size.
+FED_CLUSTER_COUNTS = (1, 2, 4)
+FED_NODES_PER_CLUSTER = 8
+
+#: Backlog bound: the deepest mempool any cluster may end the run with.
+#: One block interval's worth of production plus slack — a queue that
+#: grew with K (or with time) would blow far past this.
+MAX_MEMPOOL_DEPTH = 8
+
+
+def _sweep_cell(clusters: int) -> dict:
+    config = replace(
+        PAPER_CONFIG, data_items_per_minute=2.0, expected_block_interval=30.0
+    )
+    spec = FederationSpec(
+        cluster_count=clusters,
+        nodes_per_cluster=FED_NODES_PER_CLUSTER,
+        config=config,
+        seed=5,
+        duration_minutes=10.0,
+    )
+    aggregate = run_federation(spec).aggregate
+    return {
+        "clusters": clusters,
+        "nodes_per_cluster": FED_NODES_PER_CLUSTER,
+        "items_per_minute": aggregate["aggregate_items_per_minute"],
+        "blocks_per_minute": aggregate["aggregate_blocks_per_minute"],
+        "max_mempool_depth": aggregate["max_mempool_depth"],
+        "lookups_ok": aggregate["lookups_ok"],
+        "lookups_failed": aggregate["lookups_failed"],
+        "migrations": aggregate["migrations"],
+        "directory_staleness": aggregate["directory_staleness"],
+    }
+
+
+def _merge_headline(cells: dict) -> Path:
+    """Add the federation grid to BENCH_headline.json, keeping the rest."""
+    target = REPO_ROOT / BENCH_HEADLINE_NAME
+    record = (
+        json.loads(target.read_text(encoding="utf-8"))
+        if target.exists()
+        else {"schema": "repro.bench.headline/v1"}
+    )
+    record["federation"] = cells
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def test_federation_scale_sweep():
+    cells = {f"k{clusters}": _sweep_cell(clusters) for clusters in FED_CLUSTER_COUNTS}
+
+    throughputs = [cells[f"k{k}"]["items_per_minute"] for k in FED_CLUSTER_COUNTS]
+    assert all(
+        later > earlier for earlier, later in zip(throughputs, throughputs[1:])
+    ), f"aggregate throughput must grow with cluster count: {throughputs}"
+
+    for key, cell in cells.items():
+        assert cell["max_mempool_depth"] <= MAX_MEMPOOL_DEPTH, (
+            f"{key}: per-cluster backlog {cell['max_mempool_depth']} exceeds "
+            f"bound {MAX_MEMPOOL_DEPTH}"
+        )
+        assert cell["lookups_failed"] == 0
+
+    # Multi-cluster cells must actually exercise the fog tier.
+    assert all(
+        cells[f"k{k}"]["lookups_ok"] > 0 for k in FED_CLUSTER_COUNTS if k > 1
+    )
+
+    print(_merge_headline(cells))

@@ -18,6 +18,9 @@ Commands:
 * ``chaos run`` — a seeded Byzantine fault-injection scenario (adversary
   mix + optional churn/partition/kill overlay) on either fabric, ending
   in a safety/liveness verdict (``chaos_verdict.json``).
+* ``fed run`` / ``fed resume`` / ``fed chaos`` — hierarchical federation:
+  K sharded clusters bridged by fog super-peers, with durable snapshots,
+  per-cluster obs artefacts, and a blast-radius chaos verdict.
 * ``trace summary`` / ``trace export`` / ``trace merge`` — inspect and
   convert the observability artefacts a ``run --obs DIR`` leaves behind.
 * ``report`` — render one observed run's timeline, events, and verdict
@@ -672,6 +675,211 @@ def _cmd_chaos_run_inner(args: argparse.Namespace) -> int:
     return 1 if verdict["status"] == "critical" else 0
 
 
+def _fed_spec(args: argparse.Namespace):
+    from repro.federation import FederationSpec
+
+    config = replace(
+        PAPER_CONFIG,
+        data_items_per_minute=args.rate,
+        expected_block_interval=args.block_interval,
+    )
+    try:
+        return FederationSpec(
+            cluster_count=args.clusters,
+            nodes_per_cluster=args.nodes,
+            config=config,
+            seed=args.seed,
+            duration_minutes=args.minutes,
+            super_peer_count=args.super_peers,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+
+
+def _print_fed_summary(title: str, aggregate: dict) -> None:
+    print()
+    print(
+        render_table(
+            title,
+            ["metric", "value"],
+            [
+                ["clusters x nodes",
+                 f"{aggregate['clusters']} x {aggregate['nodes_per_cluster']}"],
+                ["aggregate items/min",
+                 round(aggregate["aggregate_items_per_minute"], 2)],
+                ["aggregate blocks/min",
+                 round(aggregate["aggregate_blocks_per_minute"], 2)],
+                ["max mempool depth", aggregate["max_mempool_depth"]],
+                ["cross lookups ok/failed",
+                 f"{aggregate['lookups_ok']} / {aggregate['lookups_failed']}"],
+                ["migrations", aggregate["migrations"]],
+                ["gossip rounds", aggregate["gossip_rounds"]],
+                ["directory staleness (s)",
+                 round(aggregate["directory_staleness"], 1)],
+                ["directory digest", aggregate["directory_digest"][:16]],
+            ],
+        )
+    )
+    print()
+    print(
+        render_table(
+            "Per cluster",
+            ["cluster", "height", "digest", "items", "mempool", "converged"],
+            [
+                [
+                    entry["cluster_id"],
+                    entry["height"],
+                    entry["chain_digest"][:16],
+                    entry["items_on_chain"],
+                    entry["mempool_depth"],
+                    entry["formation_converged"],
+                ]
+                for entry in aggregate["per_cluster"]
+            ],
+        )
+    )
+
+
+def _export_fed_json(aggregate: dict, json_path: Optional[str]) -> None:
+    if not json_path:
+        return
+    out = Path(json_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", encoding="utf-8") as handle:
+        json.dump(aggregate, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out}")
+
+
+def cmd_fed_run(args: argparse.Namespace) -> int:
+    session = _obs_enable(args, default_interval=args.block_interval)
+    try:
+        return _cmd_fed_run_inner(args)
+    finally:
+        if session is not None:
+            _obs_export(session, args)
+
+
+def _cmd_fed_run_inner(args: argparse.Namespace) -> int:
+    from repro.federation import run_federation
+
+    if args.stop_after is not None and not args.persist:
+        raise SystemExit("--stop-after requires --persist DIR")
+    spec = _fed_spec(args)
+    result = run_federation(
+        spec,
+        persist_dir=args.persist,
+        snapshot_every_seconds=args.snapshot_every,
+        stop_after_seconds=args.stop_after,
+    )
+    aggregate = result.aggregate
+    _print_fed_summary(
+        f"Federated run: {spec.cluster_count} clusters x "
+        f"{spec.nodes_per_cluster} nodes, {spec.duration_seconds / 60.0:g} min, "
+        f"seed={spec.seed}",
+        aggregate,
+    )
+    if not aggregate["finished"]:
+        print(
+            f"paused at t={result.runtime.engine.now:g}s — resume with "
+            f"`repro fed resume {args.persist}`"
+        )
+    _export_fed_json(aggregate, args.json)
+    return 0
+
+
+def cmd_fed_resume(args: argparse.Namespace) -> int:
+    session = _obs_enable(
+        args, default_interval=PAPER_CONFIG.expected_block_interval
+    )
+    try:
+        return _cmd_fed_resume_inner(args)
+    finally:
+        if session is not None:
+            _obs_export(session, args)
+
+
+def _cmd_fed_resume_inner(args: argparse.Namespace) -> int:
+    from repro.federation import resume_federation
+
+    result = resume_federation(
+        args.directory,
+        snapshot_every_seconds=args.snapshot_every,
+        stop_after_seconds=args.stop_after,
+    )
+    aggregate = result.aggregate
+    _print_fed_summary(f"Resumed federated run: {args.directory}", aggregate)
+    if not aggregate["finished"]:
+        print(
+            f"paused at t={result.runtime.engine.now:g}s — resume with "
+            f"`repro fed resume {args.directory}`"
+        )
+    _export_fed_json(aggregate, args.json)
+    return 0
+
+
+def cmd_fed_chaos(args: argparse.Namespace) -> int:
+    session = _obs_enable(args, default_interval=args.block_interval)
+    try:
+        return _cmd_fed_chaos_inner(args)
+    finally:
+        if session is not None:
+            _obs_export(session, args)
+
+
+def _cmd_fed_chaos_inner(args: argparse.Namespace) -> int:
+    from repro.chaos.runner import CHAOS_VERDICT_NAME
+    from repro.federation import FederatedChaosSpec, run_federated_chaos
+
+    federation = _fed_spec(args)
+    try:
+        spec = FederatedChaosSpec(
+            federation=federation,
+            byzantine_clusters=tuple(args.byzantine_cluster or ()),
+            behavior=args.behavior,
+            start_minutes=args.start,
+            stop_minutes=args.stop,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    result = run_federated_chaos(spec)
+    verdict = result.verdict
+    blast = verdict["blast_radius"]
+    siblings = (
+        ", ".join(
+            f"c{key}={'ok' if ok else 'VIOLATED'}"
+            for key, ok in sorted(blast["sibling_safety"].items())
+        )
+        or "-"
+    )
+    print()
+    print(
+        render_table(
+            f"Federated chaos: {federation.cluster_count} clusters x "
+            f"{federation.nodes_per_cluster} nodes, behavior={spec.behavior}, "
+            f"seed={federation.seed}",
+            ["field", "value"],
+            [
+                ["verdict", verdict["status"]],
+                ["blast radius ok", blast["ok"]],
+                ["byzantine clusters", blast["byzantine_clusters"] or "-"],
+                ["sibling safety", siblings],
+                ["cross lookups ok/failed",
+                 f"{verdict['fog']['lookups_ok']} / "
+                 f"{verdict['fog']['lookups_failed']}"],
+            ],
+        )
+    )
+    targets = []
+    if args.json:
+        targets.append(Path(args.json))
+    if args.obs:
+        targets.append(Path(args.obs) / CHAOS_VERDICT_NAME)
+    for target in targets:
+        print(f"wrote {result.write_verdict(target)}")
+    return 1 if verdict["status"] == "critical" else 0
+
+
 def _trace_path(argument: str) -> Path:
     """Accept either an obs directory or a trace file path."""
     path = Path(argument)
@@ -1033,6 +1241,110 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: the expected block interval)",
     )
     chaos_run.set_defaults(func=cmd_chaos_run)
+
+    fed = sub.add_parser(
+        "fed", help="hierarchical federation: K sharded clusters under a fog tier"
+    )
+    fed_sub = fed.add_subparsers(dest="fed_command", required=True)
+
+    def _fed_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--clusters", type=int, default=4)
+        p.add_argument("--nodes", type=int, default=8,
+                       help="nodes per cluster")
+        p.add_argument("--minutes", type=float, default=10.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--super-peers", type=int, default=2,
+                       help="fog super-peers replicating the directory")
+        p.add_argument("--rate", type=float, default=1.0,
+                       help="data items per minute per cluster")
+        p.add_argument("--block-interval", type=float, default=60.0)
+        p.add_argument(
+            "--obs", metavar="DIR",
+            help="enable observability: trace, metrics, per-cluster timeline, "
+                 "and monitor verdict in DIR",
+        )
+        p.add_argument(
+            "--obs-timebase", choices=["wall", "sim"], default="wall",
+            help="timeline for the exported trace: real (wall) or simulated time",
+        )
+        p.add_argument(
+            "--obs-sample", type=float, metavar="SECONDS",
+            help="simulated seconds between protocol-timeline samples "
+                 "(default: the expected block interval)",
+        )
+
+    fed_run = fed_sub.add_parser(
+        "run", help="run one federated experiment (all clusters on one engine)"
+    )
+    _fed_common(fed_run)
+    fed_run.add_argument("--json", help="write the aggregate record to this file")
+    fed_run.add_argument(
+        "--persist", metavar="DIR",
+        help="make the run durable: federated snapshots in DIR",
+    )
+    fed_run.add_argument(
+        "--stop-after", type=float, metavar="SECONDS",
+        help="pause cleanly after this much simulated time (requires --persist)",
+    )
+    fed_run.add_argument(
+        "--snapshot-every", type=float, default=120.0, metavar="SECONDS",
+        help="simulated seconds between snapshots (default 120)",
+    )
+    fed_run.set_defaults(func=cmd_fed_run)
+
+    fed_resume = fed_sub.add_parser(
+        "resume", help="continue a killed federated run from its last snapshot"
+    )
+    fed_resume.add_argument("directory", help="run directory from `fed run --persist`")
+    fed_resume.add_argument(
+        "--stop-after", type=float, metavar="SECONDS",
+        help="pause again after this much additional simulated time",
+    )
+    fed_resume.add_argument(
+        "--snapshot-every", type=float, default=120.0, metavar="SECONDS",
+        help="simulated seconds between snapshots (default 120)",
+    )
+    fed_resume.add_argument("--json", help="write the aggregate record to this file")
+    fed_resume.add_argument(
+        "--obs", metavar="DIR",
+        help="enable observability for the resumed segment",
+    )
+    fed_resume.add_argument(
+        "--obs-timebase", choices=["wall", "sim"], default="wall",
+        help="timeline for the exported trace: real (wall) or simulated time",
+    )
+    fed_resume.add_argument(
+        "--obs-sample", type=float, metavar="SECONDS",
+        help="simulated seconds between protocol-timeline samples",
+    )
+    fed_resume.set_defaults(func=cmd_fed_resume)
+
+    fed_chaos = fed_sub.add_parser(
+        "chaos",
+        help="turn whole clusters Byzantine and check the blast radius",
+    )
+    _fed_common(fed_chaos)
+    fed_chaos.add_argument(
+        "--byzantine-cluster", type=int, action="append", metavar="ID",
+        help="cluster whose every node runs the adversary (repeatable)",
+    )
+    fed_chaos.add_argument(
+        "--behavior", default="equivocator",
+        help="adversary behavior for Byzantine clusters (default equivocator)",
+    )
+    fed_chaos.add_argument(
+        "--start", type=float, default=2.0, metavar="MINUTES",
+        help="minutes into the run the misbehavior switches on (default 2)",
+    )
+    fed_chaos.add_argument(
+        "--stop", type=float, default=None, metavar="MINUTES",
+        help="minutes into the run the misbehavior switches off "
+             "(default: active to the end)",
+    )
+    fed_chaos.add_argument(
+        "--json", metavar="PATH", help="also write the verdict to this file"
+    )
+    fed_chaos.set_defaults(func=cmd_fed_chaos)
 
     trace = sub.add_parser(
         "trace", help="inspect/convert observability artefacts from `run --obs`"

@@ -61,7 +61,7 @@ from repro.core.messages import (
     InvalidStorageClaim,
     MetadataAnnounce,
 )
-from repro.core.metadata import MetadataItem, create_metadata
+from repro.core.metadata import MetadataItem, create_metadata, rehost_metadata
 from repro.core.pos import compute_hit, compute_pos_hash, mining_delay
 from repro.core.recent_blocks import select_recent_cache_nodes
 from repro.core.storage import NodeStorage
@@ -106,6 +106,7 @@ class NodeCounters:
 
     blocks_mined: int = 0
     data_produced: int = 0
+    data_adopted: int = 0  # foreign items migrated in from sibling clusters
     data_requests_sent: int = 0
     data_requests_served: int = 0
     data_requests_failed: int = 0
@@ -231,6 +232,32 @@ class EdgeNode:
             CATEGORY_METADATA,
         )
         return metadata
+
+    def adopt_foreign_metadata(self, item: MetadataItem) -> Optional[MetadataItem]:
+        """Import a metadata item minted in another cluster (migration).
+
+        The fog tier hands this gateway an item from a sibling allocation
+        domain whose producer is not in the local roster.  The gateway
+        re-signs it under its own identity (:func:`rehost_metadata`),
+        keeps the payload locally, and announces it like home-grown data —
+        from here the local miner's UFL allocation places it and normal
+        dissemination replicates the payload.  Returns the rehosted item,
+        or ``None`` if the data id is already known locally (on-chain or
+        pending), making migration idempotent.
+        """
+        if item.data_id in self.mempool or self.chain.metadata_of(item.data_id) is not None:
+            return None
+        adopted = rehost_metadata(item, self.account, self.node_id)
+        self.counters.data_adopted += 1
+        self.own_payloads.add(adopted.data_id)
+        self.mempool[adopted.data_id] = adopted
+        self.network.broadcast(
+            self.node_id,
+            MetadataAnnounce(adopted),
+            MetadataAnnounce(adopted).wire_size(),
+            CATEGORY_METADATA,
+        )
+        return adopted
 
     # ------------------------------------------------------------------ mining
 

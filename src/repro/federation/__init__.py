@@ -1,0 +1,62 @@
+"""Hierarchical edge federation: sharded clusters under a fog tier.
+
+The paper's deployment story is *pervasive* — far more devices than one
+flat cluster can absorb.  This package scales the reproduction the way
+ElfStore/EdgeLake scale edge storage (PAPERS.md): K independent edge
+clusters, each a full instance of the existing machinery (SWIM
+formation, a Raft general-information group, the PoS metadata chain and
+its UFL allocation domain), bridged by fog **super-peers** that replicate
+a bloom-summarized cross-cluster metadata directory and route lookups
+and migrations between clusters.  Aggregate throughput grows with K
+while per-cluster load stays bounded — the federation bench pins that.
+
+Entry points: ``repro fed run`` / ``repro fed resume`` / ``repro fed
+chaos`` on the CLI, :func:`run_federation` and friends here.
+"""
+
+from repro.federation.chaos import (
+    FederatedChaosResult,
+    FederatedChaosSpec,
+    compute_federated_verdict,
+    run_federated_chaos,
+)
+from repro.federation.directory import BloomFilter, ClusterSummary, DirectoryReplica
+from repro.federation.fog import CrossLookupDriver, FogCounters, FogTier, SuperPeer
+from repro.federation.runner import (
+    FederationResult,
+    advance_federation,
+    collect_federation_metrics,
+    resume_federation,
+    run_federation,
+)
+from repro.federation.runtime import (
+    ClusterDomain,
+    FederationRuntime,
+    build_federation_runtime,
+)
+from repro.federation.spec import FederationSpec, cluster_seed, derived_seed
+
+__all__ = [
+    "BloomFilter",
+    "ClusterSummary",
+    "DirectoryReplica",
+    "ClusterDomain",
+    "CrossLookupDriver",
+    "FederatedChaosResult",
+    "FederatedChaosSpec",
+    "FederationResult",
+    "FederationRuntime",
+    "FederationSpec",
+    "FogCounters",
+    "FogTier",
+    "SuperPeer",
+    "advance_federation",
+    "build_federation_runtime",
+    "cluster_seed",
+    "collect_federation_metrics",
+    "compute_federated_verdict",
+    "derived_seed",
+    "resume_federation",
+    "run_federated_chaos",
+    "run_federation",
+]

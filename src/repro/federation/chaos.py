@@ -1,0 +1,195 @@
+"""Federation-aware chaos: whole-cluster adversaries and blast radius.
+
+The single-cluster chaos suite (:mod:`repro.chaos`) asks "did safety and
+liveness survive N adversaries *inside* the cluster?".  Federation adds a
+containment question: if an entire cluster turns Byzantine — every node
+running a windowed adversary class — does the damage stay inside it?
+The architecture says it must: clusters share no network plane, only the
+fog directory, and the directory carries summaries that sibling clusters
+never execute.  The **blast-radius check** pins that invariant: every
+sibling (non-Byzantine) cluster's end-of-run safety verdict, computed by
+the unchanged single-cluster :func:`repro.chaos.verdict.compute_verdict`,
+must come back clean.
+
+The combined artifact is written under the same ``chaos_verdict.json``
+name the single-cluster harness uses, version-stamped the same way, with
+a ``blast_radius`` section on top of the per-cluster verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.chaos.adversaries import ADVERSARY_TYPES
+from repro.chaos.scenario import ChaosSpec
+from repro.chaos.verdict import compute_verdict
+from repro.federation.runner import FederationResult, run_federation
+from repro.federation.spec import FederationSpec
+from repro.version import package_version
+
+PathLike = Union[str, Path]
+
+FEDERATED_CHAOS_SCHEMA = "repro.chaos.federated/v1"
+
+
+@dataclass(frozen=True)
+class FederatedChaosSpec:
+    """A federated run with whole-cluster adversary overlays."""
+
+    federation: FederationSpec
+    #: Clusters whose every node runs the adversary behavior.
+    byzantine_clusters: Tuple[int, ...] = ()
+    behavior: str = "equivocator"
+    start_minutes: float = 2.0
+    stop_minutes: Optional[float] = None  # default: end of run
+
+    def __post_init__(self) -> None:
+        if self.behavior not in ADVERSARY_TYPES:
+            known = ", ".join(sorted(ADVERSARY_TYPES))
+            raise ValueError(f"unknown behavior {self.behavior!r} (known: {known})")
+        for cluster_id in self.byzantine_clusters:
+            if not (0 <= cluster_id < self.federation.cluster_count):
+                raise ValueError(f"byzantine cluster {cluster_id} out of range")
+        if len(self.byzantine_clusters) >= self.federation.cluster_count:
+            raise ValueError("at least one cluster must stay honest")
+        if self.start_minutes < 0:
+            raise ValueError("adversary start must be non-negative")
+        if self.stop_minutes is not None and self.stop_minutes <= self.start_minutes:
+            raise ValueError("adversary stop must come after start")
+
+    @property
+    def stop_seconds(self) -> float:
+        if self.stop_minutes is not None:
+            return self.stop_minutes * 60.0
+        return self.federation.duration_seconds
+
+    def windowed_class(self) -> type:
+        """The behavior class bounded to the chaos window (sim fabric)."""
+        base = ADVERSARY_TYPES[self.behavior]
+        return type(
+            f"{base.__name__}Windowed",
+            (base,),
+            {
+                "chaos_start": self.start_minutes * 60.0,
+                "chaos_stop": self.stop_seconds,
+            },
+        )
+
+    def node_classes_by_cluster(self) -> Dict[int, Dict[int, type]]:
+        adversary = self.windowed_class()
+        return {
+            cluster_id: {
+                node_id: adversary
+                for node_id in range(self.federation.nodes_per_cluster)
+            }
+            for cluster_id in self.byzantine_clusters
+        }
+
+    def cluster_chaos_spec(self, cluster_id: int) -> ChaosSpec:
+        """The single-cluster ChaosSpec this cluster effectively ran."""
+        fed = self.federation
+        adversaries: Dict[str, Tuple[int, ...]] = {}
+        if cluster_id in self.byzantine_clusters:
+            adversaries = {
+                self.behavior: tuple(range(fed.nodes_per_cluster))
+            }
+        return ChaosSpec(
+            node_count=fed.nodes_per_cluster,
+            config=fed.config,
+            seed=fed.seed_for(cluster_id),
+            duration_minutes=fed.duration_seconds / 60.0,
+            adversaries=adversaries,
+            start_minutes=self.start_minutes,
+            stop_minutes=self.stop_seconds / 60.0,
+            fabric="sim",
+        )
+
+
+@dataclass
+class FederatedChaosResult:
+    """The run, its per-cluster verdicts, and the blast-radius check."""
+
+    spec: FederatedChaosSpec
+    run: FederationResult
+    verdict: Dict[str, Any]
+
+    def write_verdict(self, path: PathLike) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            json.dump(self.verdict, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return target
+
+
+def compute_federated_verdict(
+    spec: FederatedChaosSpec, result: FederationResult
+) -> Dict[str, Any]:
+    """Per-cluster verdicts plus the blast-radius containment check.
+
+    Byzantine clusters are *sacrificed by construction* — with zero
+    honest members there is no honest invariant to evaluate, so they get
+    a marker entry instead of a verdict.  The blast radius is ``ok`` iff
+    every sibling cluster's safety section is clean.
+    """
+    clusters: Dict[str, Any] = {}
+    sibling_safety: Dict[str, bool] = {}
+    for domain in result.runtime.domains:
+        key = str(domain.cluster_id)
+        if domain.cluster_id in spec.byzantine_clusters:
+            clusters[key] = {
+                "status": "sacrificed",
+                "note": f"whole cluster ran {spec.behavior}; no honest invariant",
+            }
+            continue
+        verdict = compute_verdict(
+            spec.cluster_chaos_spec(domain.cluster_id), domain.cluster.nodes
+        )
+        clusters[key] = verdict
+        sibling_safety[key] = bool(verdict["safety"]["ok"])
+    blast_ok = all(sibling_safety.values()) if sibling_safety else False
+    sibling_statuses = [
+        clusters[key]["status"] for key in sibling_safety
+    ]
+    if not blast_ok or "critical" in sibling_statuses:
+        status = "critical"
+    elif "warning" in sibling_statuses:
+        status = "warning"
+    else:
+        status = "ok"
+    return {
+        "schema": FEDERATED_CHAOS_SCHEMA,
+        "version": package_version(),
+        "status": status,
+        "behavior": spec.behavior,
+        "seed": spec.federation.seed,
+        "clusters": clusters,
+        "blast_radius": {
+            "ok": blast_ok,
+            "byzantine_clusters": sorted(spec.byzantine_clusters),
+            "sibling_safety": sibling_safety,
+        },
+        "fog": {
+            "lookups_ok": result.aggregate["lookups_ok"],
+            "lookups_failed": result.aggregate["lookups_failed"],
+            "migrations": result.aggregate["migrations"],
+        },
+    }
+
+
+def run_federated_chaos(spec: FederatedChaosSpec) -> FederatedChaosResult:
+    """Run the federation with the adversary overlay and judge containment."""
+    fed_spec = replace(
+        spec.federation,
+        node_classes_by_cluster=spec.node_classes_by_cluster(),
+        # A Byzantine cluster's migrations would push tampered metadata at
+        # sibling gateways; honest runs keep migration on, chaos runs rely
+        # on lookups failing against the sacrificed cluster instead.
+        migrate_fraction=0.0,
+    )
+    result = run_federation(fed_spec)
+    verdict = compute_federated_verdict(spec, result)
+    return FederatedChaosResult(spec=spec, run=result, verdict=verdict)

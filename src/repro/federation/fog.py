@@ -1,0 +1,297 @@
+"""The fog tier: super-peers bridging edge clusters.
+
+Super-peers are the federation's backhaul (ElfStore's fog layer): each
+edge cluster *homes* to one super-peer, which periodically distills the
+cluster's public state into a :class:`ClusterSummary` and anti-entropy
+gossips its directory replica to a seeded-random partner.  Cross-cluster
+traffic rides the directory:
+
+* **lookup** — a cluster that cannot resolve a data id locally asks its
+  home super-peer; the peer shortlists candidate clusters by bloom and
+  verifies against each candidate's reference chain (false positives
+  cost a probe, not a wrong answer).
+* **migration** — a successful lookup may pull the item *into* the
+  requesting cluster: the origin's gateway node re-signs the metadata
+  under its local identity (:meth:`EdgeNode.adopt_foreign_metadata`),
+  after which the target cluster's own miner places it through UFL
+  allocation and normal dissemination replicates the payload.
+
+All scheduling uses the shared engine with bound methods of these
+module-level classes, so a federated runtime snapshots/resumes exactly
+like a single-cluster one.  Gossip partners come from each peer's own
+seeded ``random.Random``, keeping replay deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.metadata import MetadataItem
+from repro.federation.directory import BloomFilter, ClusterSummary, DirectoryReplica
+from repro.federation.spec import FederationSpec, derived_seed
+from repro.simnet.engine import EventEngine, PeriodicTask
+
+#: A lookup that races ahead of directory refresh retries this often...
+LOOKUP_RETRY_SECONDS = 45.0
+
+#: ...at most this many times before counting as failed.
+LOOKUP_MAX_RETRIES = 6
+
+
+@dataclass
+class FogCounters:
+    """Cumulative fog-tier statistics (feed the federation monitors)."""
+
+    refreshes: int = 0
+    gossip_rounds: int = 0
+    gossip_entries_adopted: int = 0
+    lookups_ok: int = 0
+    lookups_failed: int = 0
+    migrations: int = 0
+
+
+class SuperPeer:
+    """One fog node: a directory replica plus its home clusters."""
+
+    def __init__(self, peer_id: int, fog: "FogTier", rng: random.Random):
+        self.peer_id = peer_id
+        self.fog = fog
+        self.rng = rng
+        self.replica = DirectoryReplica()
+        self.home_clusters: List[int] = []
+        self._versions: Dict[int, int] = {}
+
+    def refresh_home(self) -> None:
+        """Re-summarise every home cluster into the local replica."""
+        now = self.fog.engine.now
+        for cluster_id in self.home_clusters:
+            version = self._versions.get(cluster_id, 0) + 1
+            self._versions[cluster_id] = version
+            summary = self.fog.build_summary(cluster_id, version, now)
+            self.replica.merge(summary)
+            self.fog.counters.refreshes += 1
+
+    def gossip(self) -> None:
+        """Push the replica to one seeded-random partner (anti-entropy)."""
+        others = [p for p in self.fog.peers if p.peer_id != self.peer_id]
+        if not others or not self.replica.entries:
+            return
+        partner = others[self.rng.randrange(len(others))]
+        payload = list(self.replica.entries.values())
+        self.fog.engine.schedule(
+            self.fog.spec.fog_latency_seconds, partner.receive_directory, payload
+        )
+        self.fog.counters.gossip_rounds += 1
+
+    def receive_directory(self, summaries: List[ClusterSummary]) -> None:
+        self.fog.counters.gossip_entries_adopted += self.replica.merge_all(summaries)
+
+
+class FogTier:
+    """All super-peers plus the cross-cluster routing they provide."""
+
+    def __init__(self, engine: EventEngine, spec: FederationSpec, domains: List[Any]):
+        self.engine = engine
+        self.spec = spec
+        self.domains = domains  # List[ClusterDomain]; duck-typed to avoid a cycle
+        self.counters = FogCounters()
+        self.peers: List[SuperPeer] = []
+        for peer_id in range(spec.super_peer_count):
+            peer_seed = derived_seed(spec.seed, "fog-peer", peer_id)
+            self.peers.append(SuperPeer(peer_id, self, random.Random(peer_seed)))
+        for cluster_id in range(spec.cluster_count):
+            self.peers[spec.home_peer_of(cluster_id)].home_clusters.append(cluster_id)
+        self._tasks: List[PeriodicTask] = []
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm refresh + gossip schedules (called at formation time)."""
+        if self._started:
+            return
+        self._started = True
+        for peer in self.peers:
+            # Staggered deterministic start offsets keep peers from
+            # refreshing/gossiping in lockstep on the same tick.
+            peer.refresh_home()
+            self._tasks.append(
+                PeriodicTask(
+                    self.engine,
+                    self.spec.directory_refresh_seconds,
+                    peer.refresh_home,
+                    start_delay=self.spec.directory_refresh_seconds
+                    + 0.1 * peer.peer_id,
+                )
+            )
+            self._tasks.append(
+                PeriodicTask(
+                    self.engine,
+                    self.spec.gossip_period_seconds,
+                    peer.gossip,
+                    start_delay=self.spec.gossip_period_seconds * 0.5
+                    + 0.1 * peer.peer_id,
+                )
+            )
+
+    def stop(self) -> None:
+        for task in self._tasks:
+            task.stop()
+
+    # -- summaries ---------------------------------------------------------------
+
+    def build_summary(
+        self, cluster_id: int, version: int, now: float
+    ) -> ClusterSummary:
+        """Distill one cluster's public state into a directory entry."""
+        domain = self.domains[cluster_id]
+        cluster = domain.cluster
+        chain = cluster.longest_chain_node().chain
+        data_ids = [
+            item.data_id for block in chain.blocks for item in block.metadata_items
+        ]
+        bloom = BloomFilter.sized_for(max(len(data_ids), 64))
+        for data_id in data_ids:
+            bloom.add(data_id)
+        checkpoint_index = chain.last_checkpoint()
+        capacity = float(cluster.config.storage_capacity)
+        used = [cluster.nodes[n].storage.used_slots() for n in cluster.node_ids]
+        total_capacity = capacity * len(used)
+        fairness_max = 0.0
+        for slots in used:
+            clamped = min(float(slots), capacity)
+            margin = capacity - clamped
+            fairness_max = max(
+                fairness_max, math.inf if margin <= 0 else clamped / margin
+            )
+        state = chain.state
+        tokens = sorted((state.tokens(node) for node in state.node_ids), reverse=True)
+        total_tokens = sum(tokens)
+        leader = None
+        term = 0
+        if domain.raft is not None:
+            leader_node = domain.raft.leader()
+            if leader_node is not None:
+                leader = leader_node.node_id
+                term = leader_node.current_term
+        return ClusterSummary(
+            cluster_id=cluster_id,
+            version=version,
+            updated_at=now,
+            height=chain.height,
+            chain_digest=chain.chain_digest(),
+            checkpoint_height=checkpoint_index,
+            checkpoint_digest=chain.block_at(checkpoint_index).current_hash,
+            item_count=len(data_ids),
+            bloom=bloom,
+            stake_top_share=(
+                sum(tokens[:3]) / total_tokens if total_tokens > 0 else 0.0
+            ),
+            storage_used_fraction=(
+                sum(used) / total_capacity if total_capacity > 0 else 0.0
+            ),
+            free_slots=max(0, int(total_capacity) - sum(used)),
+            fairness_max=fairness_max,
+            raft_leader=leader,
+            raft_term=term,
+        )
+
+    # -- cross-cluster routing ----------------------------------------------------
+
+    def directory_staleness(self, now: float) -> float:
+        """Worst entry age across every peer's replica (monitor input)."""
+        return max(
+            peer.replica.staleness(now, self.spec.cluster_count)
+            for peer in self.peers
+        )
+
+    def directory_digest(self) -> str:
+        """Deterministic digest over all replicas (determinism checks)."""
+        from repro.crypto.hashing import hash_items
+
+        return hash_items(
+            "fog-directory", *(peer.replica.digest() for peer in self.peers)
+        ).hex()[:32]
+
+    def lookup(
+        self, origin_cluster: int, data_id: str
+    ) -> Optional[Tuple[int, MetadataItem]]:
+        """Resolve a data id outside its origin cluster via the directory.
+
+        Consults the origin's home super-peer, blooms a candidate
+        shortlist, then verifies against each candidate's reference
+        chain.  Returns ``(cluster_id, item)`` or ``None``; counting
+        success/failure is the caller's job (the driver retries first).
+        """
+        peer = self.peers[self.spec.home_peer_of(origin_cluster)]
+        for candidate in peer.replica.candidates_for(data_id, exclude=origin_cluster):
+            chain = self.domains[candidate].cluster.longest_chain_node().chain
+            item = chain.metadata_of(data_id)
+            if item is not None:
+                return candidate, item
+        return None
+
+    def migrate(self, origin_cluster: int, item: MetadataItem) -> None:
+        """Pull a foreign item into ``origin_cluster`` via its gateway.
+
+        Models the fetch as one fog round-trip; the gateway then re-signs
+        and announces the item so the target cluster's UFL allocation
+        places it like home-grown data.
+        """
+        self.engine.schedule(
+            2.0 * self.spec.fog_latency_seconds,
+            self._deliver_migration,
+            origin_cluster,
+            item,
+        )
+
+    def _deliver_migration(self, origin_cluster: int, item: MetadataItem) -> None:
+        cluster = self.domains[origin_cluster].cluster
+        gateway = cluster.nodes[min(cluster.node_ids)]
+        if not gateway.online:
+            return
+        if gateway.adopt_foreign_metadata(item) is not None:
+            self.counters.migrations += 1
+
+
+class CrossLookupDriver:
+    """Fires scheduled cross-cluster lookups, retrying through directory lag.
+
+    A freshly produced item is invisible to the fog until its cluster's
+    next refresh gossips out, so a lookup that comes up empty retries a
+    few refresh-scale intervals before counting as failed — mirroring the
+    single-cluster request driver's race with block packing.
+    """
+
+    def __init__(self, fog: FogTier):
+        self.fog = fog
+
+    def schedule(
+        self, origin_cluster: int, data_id: str, when: float, migrate: bool
+    ) -> None:
+        self.fog.engine.call_at(when, self._fire, origin_cluster, data_id, migrate, 0)
+
+    def _fire(
+        self, origin_cluster: int, data_id: str, migrate: bool, attempt: int
+    ) -> None:
+        result = self.fog.lookup(origin_cluster, data_id)
+        if result is None:
+            if attempt < LOOKUP_MAX_RETRIES:
+                self.fog.engine.schedule(
+                    LOOKUP_RETRY_SECONDS,
+                    self._fire,
+                    origin_cluster,
+                    data_id,
+                    migrate,
+                    attempt + 1,
+                )
+            else:
+                self.fog.counters.lookups_failed += 1
+            return
+        _source_cluster, item = result
+        self.fog.counters.lookups_ok += 1
+        if migrate:
+            self.fog.migrate(origin_cluster, item)

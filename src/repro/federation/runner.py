@@ -1,0 +1,188 @@
+"""Run, checkpoint, resume, and measure federated experiments.
+
+The federated analogue of :func:`repro.sim.runner.run_experiment` plus
+the durable path: with ``persist_dir`` set, the runtime is snapshotted on
+a fixed cadence through :mod:`repro.persist.snapshot` (which understands
+federated runtimes), so ``repro fed resume`` continues a killed run from
+its last checkpoint with per-cluster digests intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.errors import PersistError
+from repro.federation.runtime import FederationRuntime, build_federation_runtime
+from repro.federation.spec import FederationSpec
+from repro.metrics.collector import RunMetrics
+from repro.obs import runtime as _obs
+from repro.sim.runner import collect_metrics
+
+PathLike = Union[str, Path]
+
+#: Default simulated seconds between durable snapshots of a federation.
+DEFAULT_SNAPSHOT_SECONDS = 120.0
+
+
+@dataclass
+class FederationResult:
+    """Per-cluster metrics plus federation-level aggregates."""
+
+    spec: FederationSpec
+    runtime: FederationRuntime
+    cluster_metrics: List[RunMetrics]
+    aggregate: Dict[str, Any]
+
+
+def _items_on_chain(cluster: Any) -> int:
+    chain = cluster.longest_chain_node().chain
+    return sum(len(block.metadata_items) for block in chain.blocks)
+
+
+def _mempool_depth(cluster: Any) -> int:
+    """Deepest per-node backlog of packed-nowhere-yet metadata items."""
+    return max(len(node.mempool) for node in cluster.nodes.values())
+
+
+def collect_federation_metrics(runtime: FederationRuntime) -> FederationResult:
+    """Derive per-cluster metrics and federation aggregates."""
+    with _obs.span("fed.collect", "fed"):
+        spec = runtime.spec
+        cluster_metrics = [
+            collect_metrics(domain.runtime) for domain in runtime.domains
+        ]
+        minutes = spec.duration_seconds / 60.0
+        per_cluster = []
+        for domain, metrics in zip(runtime.domains, cluster_metrics):
+            chain = domain.cluster.longest_chain_node().chain
+            per_cluster.append(
+                {
+                    "cluster_id": domain.cluster_id,
+                    "height": chain.height,
+                    "chain_digest": chain.chain_digest(),
+                    "items_on_chain": _items_on_chain(domain.cluster),
+                    "mempool_depth": _mempool_depth(domain.cluster),
+                    "formation_converged": domain.formation_converged,
+                    "data_items_produced": metrics.data_items_produced,
+                    "failed_requests": metrics.failed_requests,
+                    "avg_node_mb": metrics.average_node_megabytes(),
+                }
+            )
+        counters = runtime.fog.counters
+        aggregate = {
+            "clusters": spec.cluster_count,
+            "nodes_per_cluster": spec.nodes_per_cluster,
+            "total_nodes": spec.total_nodes,
+            "duration_minutes": minutes,
+            "finished": runtime.finished,
+            "per_cluster": per_cluster,
+            "aggregate_items_per_minute": (
+                sum(entry["items_on_chain"] for entry in per_cluster) / minutes
+            ),
+            "aggregate_blocks_per_minute": (
+                sum(entry["height"] for entry in per_cluster) / minutes
+            ),
+            "max_mempool_depth": max(
+                entry["mempool_depth"] for entry in per_cluster
+            ),
+            "lookups_ok": counters.lookups_ok,
+            "lookups_failed": counters.lookups_failed,
+            "migrations": counters.migrations,
+            "gossip_rounds": counters.gossip_rounds,
+            "directory_staleness": runtime.fog.directory_staleness(
+                runtime.engine.now
+            ),
+            "directory_digest": runtime.directory_digest(),
+            "chain_digests": runtime.cluster_digests(),
+        }
+        return FederationResult(
+            spec=spec,
+            runtime=runtime,
+            cluster_metrics=cluster_metrics,
+            aggregate=aggregate,
+        )
+
+
+def advance_federation(
+    runtime: FederationRuntime,
+    persist_dir: Optional[PathLike] = None,
+    snapshot_every_seconds: float = DEFAULT_SNAPSHOT_SECONDS,
+    stop_after_seconds: Optional[float] = None,
+) -> FederationResult:
+    """Advance to the duration (or ``stop_after_seconds``), then measure.
+
+    With ``persist_dir``, the run advances in snapshot-cadence segments
+    and checkpoints after each — a kill at any point loses at most one
+    segment, and :func:`resume_federation` picks up from the newest
+    snapshot.
+    """
+    duration = runtime.spec.duration_seconds
+    target = (
+        duration
+        if stop_after_seconds is None
+        else min(duration, stop_after_seconds)
+    )
+    with _obs.span("fed.simulate", "fed", target_seconds=target):
+        if persist_dir is None:
+            runtime.engine.run_until(target)
+        else:
+            from repro.persist.snapshot import write_snapshot
+
+            if snapshot_every_seconds <= 0:
+                raise ValueError("snapshot cadence must be positive")
+            root = Path(persist_dir)
+            root.mkdir(parents=True, exist_ok=True)
+            while runtime.engine.now < target:
+                segment_end = min(
+                    runtime.engine.now + snapshot_every_seconds, target
+                )
+                runtime.engine.run_until(segment_end)
+                write_snapshot(root, runtime)
+    return collect_federation_metrics(runtime)
+
+
+def run_federation(
+    spec: FederationSpec,
+    persist_dir: Optional[PathLike] = None,
+    snapshot_every_seconds: float = DEFAULT_SNAPSHOT_SECONDS,
+    stop_after_seconds: Optional[float] = None,
+) -> FederationResult:
+    """Build, run, and measure one federated experiment."""
+    runtime = build_federation_runtime(spec)
+    return advance_federation(
+        runtime,
+        persist_dir=persist_dir,
+        snapshot_every_seconds=snapshot_every_seconds,
+        stop_after_seconds=stop_after_seconds,
+    )
+
+
+def resume_federation(
+    directory: PathLike,
+    snapshot_every_seconds: float = DEFAULT_SNAPSHOT_SECONDS,
+    stop_after_seconds: Optional[float] = None,
+) -> FederationResult:
+    """Continue a killed federated run from its newest valid snapshot."""
+    from repro.persist.snapshot import load_latest_snapshot
+
+    runtime, info, skipped = load_latest_snapshot(directory)
+    if runtime is None:
+        raise PersistError(
+            f"no usable snapshot in {directory}"
+            + (f" (skipped: {'; '.join(skipped)})" if skipped else "")
+        )
+    if not isinstance(runtime, FederationRuntime):
+        raise PersistError(
+            f"snapshot {info.path if info else directory} is not a federated run "
+            "(use `repro resume` for single-cluster runs)"
+        )
+    _obs.set_sim_clock(runtime.engine.clock_reader())
+    _obs.attach_runtime(runtime)
+    return advance_federation(
+        runtime,
+        persist_dir=directory,
+        snapshot_every_seconds=snapshot_every_seconds,
+        stop_after_seconds=stop_after_seconds,
+    )

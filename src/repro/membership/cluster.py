@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+import random
+from typing import Dict, List, Optional
 
 from repro.membership.messages import MemberStatus
 from repro.membership.node import SwimNode
@@ -11,21 +12,33 @@ from repro.simnet.transport import Network
 
 
 class SwimCluster:
-    """A set of SWIM members sharing one network and event engine."""
+    """A set of SWIM members sharing one network and event engine.
+
+    ``rng`` (optional) is the cluster's membership-protocol randomness,
+    shared by every member.  Passing an explicitly seeded ``Random`` makes
+    a cluster's formation a pure function of that seed — the federation
+    layer derives one per cluster from its root seed so K clusters forming
+    concurrently on one engine cannot perturb each other through the
+    engine's shared stream.
+    """
 
     def __init__(
         self,
         node_ids: List[int],
         network: Network,
         engine: EventEngine,
+        rng: Optional[random.Random] = None,
         **node_kwargs,
     ):
         if len(set(node_ids)) != len(node_ids):
             raise ValueError("node ids must be unique")
         self.engine = engine
         self.network = network
+        self.rng = rng
         self.nodes: Dict[int, SwimNode] = {
-            node_id: SwimNode(node_id, list(node_ids), network, engine, **node_kwargs)
+            node_id: SwimNode(
+                node_id, list(node_ids), network, engine, rng=rng, **node_kwargs
+            )
             for node_id in node_ids
         }
 

@@ -17,6 +17,7 @@ Raft's heartbeats the comparison benchmark quantifies.
 
 from __future__ import annotations
 
+import random
 from typing import Any, Dict, List, Optional
 
 from repro.membership.messages import (
@@ -51,10 +52,17 @@ class SwimNode:
         ping_timeout: float = DEFAULT_PING_TIMEOUT,
         suspicion_timeout: float = DEFAULT_SUSPICION_TIMEOUT,
         indirect_probes: int = DEFAULT_INDIRECT_PROBES,
+        rng: Optional[random.Random] = None,
     ):
         self.node_id = node_id
         self.network = network
         self.engine = engine
+        #: Source of all protocol randomness (round desync, probe-schedule
+        #: and proxy shuffles).  Defaults to the engine's shared stream;
+        #: federated runs hand every cluster its own seeded ``Random`` so
+        #: K clusters forming concurrently stay deterministic from one
+        #: root seed regardless of event interleaving.
+        self.rng = rng if rng is not None else engine.rng
         self.protocol_period = protocol_period
         self.ping_timeout = ping_timeout
         self.suspicion_timeout = suspicion_timeout
@@ -77,7 +85,7 @@ class SwimNode:
 
     def start(self) -> None:
         # Desynchronise rounds across nodes.
-        offset = self.engine.rng.uniform(0, self.protocol_period)
+        offset = self.rng.uniform(0, self.protocol_period)
         self._timer = self.engine.schedule(offset, self._protocol_round)
 
     def stop(self) -> None:
@@ -95,7 +103,7 @@ class SwimNode:
         self._probe_schedule = [m for m in self._probe_schedule if m in candidates]
         if not self._probe_schedule:
             schedule = list(candidates)
-            self.engine.rng.shuffle(schedule)
+            self.rng.shuffle(schedule)
             self._probe_schedule = schedule
         return self._probe_schedule.pop()
 
@@ -123,7 +131,7 @@ class SwimNode:
             for member in self.table.alive_members()
             if member != target
         ]
-        self.engine.rng.shuffle(proxies)
+        self.rng.shuffle(proxies)
         for proxy in proxies[: self.indirect_probes]:
             self._send(
                 proxy,

@@ -390,6 +390,107 @@ class QuarantineMonitor(Monitor):
         return ("ok", "no peers quarantined", 0.0, 0.0)
 
 
+class PrefixedMonitor(Monitor):
+    """Adapt a single-cluster monitor to one ``c{k}_``-namespaced stream.
+
+    Federated timelines carry every cluster's fields under a
+    ``c{cluster_id}_`` prefix.  This wrapper strips the prefix back off
+    (into a shadow view — the sample itself is untouched) and delegates
+    to the wrapped monitor, whose stateful logic (stall cursors, EWMA
+    baselines, rejection deltas) runs unchanged against its own cluster.
+    Emitted events carry a ``c{k}/`` qualified monitor name.
+    """
+
+    def __init__(self, inner: Monitor, prefix: str, label: str):
+        super().__init__()
+        self.inner = inner
+        self.prefix = prefix
+        self.name = inner.name = f"{label}/{inner.name}"
+
+    def level(self, sample: Dict[str, Any]) -> tuple:
+        view = dict(sample)
+        for key, value in sample.items():
+            if key.startswith(self.prefix):
+                view[key[len(self.prefix):]] = value
+        return self.inner.level(view)
+
+
+class DirectoryStalenessMonitor(Monitor):
+    """Fog-directory freshness: every super-peer replica must keep up.
+
+    The home peer refreshes its clusters' summaries every
+    ``refresh_seconds`` and gossip carries them to the other peers, so
+    in a healthy federation no replica entry ages past a small multiple
+    of the refresh period.  A stuck refresh task, dead gossip, or a
+    cluster that never reached the directory all surface here.
+    """
+
+    name = "directory-staleness"
+
+    def __init__(
+        self,
+        refresh_seconds: float,
+        warn_factor: float = 3.0,
+        critical_factor: float = 10.0,
+    ):
+        super().__init__()
+        self.warn_after = warn_factor * refresh_seconds
+        self.critical_after = critical_factor * refresh_seconds
+
+    def level(self, sample: Dict[str, Any]) -> tuple:
+        staleness = sample.get("fed_directory_staleness")
+        if staleness is None:
+            return ("ok", "no federation directory", None, None)
+        if staleness > self.critical_after:
+            return (
+                "critical",
+                f"directory entry stale for {staleness:.0f}s",
+                staleness,
+                self.critical_after,
+            )
+        if staleness > self.warn_after:
+            return (
+                "warning",
+                f"directory entry stale for {staleness:.0f}s",
+                staleness,
+                self.warn_after,
+            )
+        return ("ok", f"directory staleness {staleness:.0f}s", staleness, self.warn_after)
+
+
+class LookupFailureMonitor(Monitor):
+    """Warn while cross-cluster lookups are actively failing.
+
+    The counter is cumulative across the fog tier, so (like the
+    admission-rejection monitor) this levels on the *delta* between
+    samples: a window of failures — a Byzantine target cluster, a stale
+    directory past its retry budget — shows up as one warning event and
+    one recovery event.
+    """
+
+    name = "lookup-failures"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last = 0
+
+    def level(self, sample: Dict[str, Any]) -> tuple:
+        total = sample.get("fed_lookup_failures")
+        if total is None:
+            return ("ok", "no federation lookups", None, None)
+        fresh = total - self._last
+        self._last = total
+        if fresh > 0:
+            return (
+                "warning",
+                f"{fresh} cross-cluster lookup(s) failed since last sample "
+                f"({total} total)",
+                float(fresh),
+                0.0,
+            )
+        return ("ok", f"no new lookup failures ({total} total)", 0.0, 0.0)
+
+
 class MonitorSuite:
     """All monitors for a run, plus the accumulated event stream."""
 
@@ -413,6 +514,37 @@ class MonitorSuite:
                 QuarantineMonitor(),
             ]
         )
+
+    @classmethod
+    def for_federation(cls, federation: Any) -> "MonitorSuite":
+        """Federation monitor set: fog-tier monitors plus one prefixed
+        copy of the per-cluster set for each domain.
+
+        LeaderFlapMonitor is omitted — the Raft registry fields it reads
+        are process-global, not per-cluster, so it cannot be namespaced.
+        """
+        spec = federation.spec
+        t0 = spec.config.expected_block_interval
+        monitors: List[Monitor] = [
+            DirectoryStalenessMonitor(spec.directory_refresh_seconds),
+            LookupFailureMonitor(),
+        ]
+        for domain in federation.domains:
+            label = f"c{domain.cluster_id}"
+            prefix = f"{label}_"
+            monitors.extend(
+                PrefixedMonitor(inner, prefix, label)
+                for inner in (
+                    ChainStallMonitor(t0),
+                    IntervalDriftMonitor(t0),
+                    FairnessMonitor(),
+                    StakeConcentrationMonitor(),
+                    CoverageMonitor(),
+                    AdmissionRejectionMonitor(),
+                    QuarantineMonitor(),
+                )
+            )
+        return cls(monitors)
 
     def observe(self, sample: Dict[str, Any]) -> List[MonitorEvent]:
         """Feed one timeline sample to every monitor; returns new events."""

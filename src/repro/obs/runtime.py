@@ -62,10 +62,16 @@ class ObsSession:
     def attach_runtime(self, runtime: Any) -> None:
         """Point the timeline probe (and monitors) at a live runtime.
 
-        Accepts anything with a ``cluster`` attribute (a ``SimRuntime``)
-        or a cluster itself.  No-op when the session has no timeline.
+        Accepts a federated runtime (anything with cluster ``domains``),
+        anything with a ``cluster`` attribute (a ``SimRuntime``), or a
+        cluster itself.  No-op when the session has no timeline.
         """
         if self.timeline is None:
+            return
+        if hasattr(runtime, "domains"):
+            self.timeline.attach(runtime)
+            if self.monitors is None:
+                self.monitors = MonitorSuite.for_federation(runtime)
             return
         cluster = getattr(runtime, "cluster", runtime)
         self.timeline.attach(cluster)

@@ -72,7 +72,7 @@ def _snapshot_name(height: int, clock: float) -> str:
     return f"{_SNAPSHOT_PREFIX}{height:08d}-{int(clock * 1000):014d}{_SNAPSHOT_SUFFIX}"
 
 
-def _rng_digest(runtime: SimRuntime) -> str:
+def _rng_digest(runtime: Any) -> str:
     engine = runtime.engine
     state = (engine.rng.getstate(), engine.np_rng.bit_generator.state)
     return format(zlib.crc32(pickle.dumps(state)) & 0xFFFFFFFF, "08x")
@@ -90,31 +90,61 @@ def snapshot_paths(directory: PathLike) -> List[Path]:
     )
 
 
-def write_snapshot(directory: PathLike, runtime: SimRuntime, retain: int = 2) -> Path:
-    """Atomically write one snapshot; prunes all but the newest ``retain``."""
+def _state_card(runtime: Any) -> Tuple[int, str, int, Any, Dict[str, Any]]:
+    """(height, digest, node_count, seed, storages) for either runtime kind.
+
+    Federated runtimes expose the snapshot duck interface
+    (``snapshot_height`` / ``snapshot_digest`` / ``snapshot_storages``);
+    a ``SimRuntime`` derives the card from its reference chain.
+    """
+    if hasattr(runtime, "domains"):
+        return (
+            runtime.snapshot_height(),
+            runtime.snapshot_digest(),
+            runtime.spec.total_nodes,
+            runtime.spec.seed,
+            runtime.snapshot_storages(),
+        )
+    reference = runtime.cluster.longest_chain_node()
+    return (
+        reference.chain.height,
+        reference.chain.chain_digest(),
+        runtime.spec.node_count,
+        runtime.spec.seed,
+        {
+            str(node_id): storage_to_dict(runtime.cluster.nodes[node_id].storage)
+            for node_id in runtime.cluster.node_ids
+        },
+    )
+
+
+def write_snapshot(directory: PathLike, runtime: Any, retain: int = 2) -> Path:
+    """Atomically write one snapshot; prunes all but the newest ``retain``.
+
+    Accepts a :class:`~repro.sim.runner.SimRuntime` or a
+    :class:`~repro.federation.runtime.FederationRuntime` (whose card
+    digest covers every cluster chain).
+    """
     if retain < 1:
         raise ValueError("must retain at least one snapshot")
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
-    reference = runtime.cluster.longest_chain_node()
+    height, digest, node_count, seed, storages = _state_card(runtime)
     blob = zlib.compress(pickle.dumps(runtime, protocol=pickle.HIGHEST_PROTOCOL))
     document: Dict[str, Any] = {
         "schema_version": SNAPSHOT_SCHEMA_VERSION,
         "clock": runtime.engine.now,
-        "height": reference.chain.height,
-        "chain_digest": reference.chain.chain_digest(),
+        "height": height,
+        "chain_digest": digest,
         "rng_digest": _rng_digest(runtime),
-        "node_count": runtime.spec.node_count,
-        "seed": runtime.spec.seed,
-        "storages": {
-            str(node_id): storage_to_dict(runtime.cluster.nodes[node_id].storage)
-            for node_id in runtime.cluster.node_ids
-        },
+        "node_count": node_count,
+        "seed": seed,
+        "storages": storages,
         "blob_crc": format(zlib.crc32(blob) & 0xFFFFFFFF, "08x"),
         "blob_bytes": len(blob),
         "blob": base64.b64encode(blob).decode("ascii"),
     }
-    target = root / _snapshot_name(reference.chain.height, runtime.engine.now)
+    target = root / _snapshot_name(height, runtime.engine.now)
     temp = target.with_name(target.name + ".tmp")
     with temp.open("w", encoding="utf-8") as handle:
         json.dump(document, handle)
@@ -156,8 +186,12 @@ def _read_document(path: PathLike) -> Dict[str, Any]:
     return document
 
 
-def load_snapshot(path: PathLike) -> Tuple[SimRuntime, SnapshotInfo]:
+def load_snapshot(path: PathLike) -> Tuple[Any, SnapshotInfo]:
     """Restore a runtime from one snapshot, verifying every invariant."""
+    # Imported lazily: federation.runtime imports the obs layer, which
+    # must stay importable without dragging persist back in.
+    from repro.federation.runtime import FederationRuntime
+
     document = _read_document(path)
     try:
         blob = base64.b64decode(document["blob"].encode("ascii"))
@@ -170,15 +204,18 @@ def load_snapshot(path: PathLike) -> Tuple[SimRuntime, SnapshotInfo]:
         runtime = pickle.loads(zlib.decompress(blob))
     except Exception as error:  # pickle raises a zoo of types on corruption
         raise PersistError(f"snapshot {path} blob unpicklable: {error}") from error
-    if not isinstance(runtime, SimRuntime):
-        raise PersistError(f"snapshot {path} does not contain a SimRuntime")
+    if not isinstance(runtime, (SimRuntime, FederationRuntime)):
+        raise PersistError(f"snapshot {path} does not contain a known runtime")
     info = inspect_snapshot(path)
     if runtime.engine.now != info.clock:
         raise PersistError(
             f"snapshot {path} clock {info.clock} does not match "
             f"restored engine clock {runtime.engine.now}"
         )
-    restored_digest = runtime.cluster.longest_chain_node().chain.chain_digest()
+    if isinstance(runtime, FederationRuntime):
+        restored_digest = runtime.snapshot_digest()
+    else:
+        restored_digest = runtime.cluster.longest_chain_node().chain.chain_digest()
     if restored_digest != info.chain_digest:
         raise PersistError(
             f"snapshot {path} chain digest mismatch after restore "
@@ -191,7 +228,7 @@ def load_snapshot(path: PathLike) -> Tuple[SimRuntime, SnapshotInfo]:
 
 def load_latest_snapshot(
     directory: PathLike,
-) -> Tuple[Optional[SimRuntime], Optional[SnapshotInfo], List[str]]:
+) -> Tuple[Optional[Any], Optional[SnapshotInfo], List[str]]:
     """Restore from the newest valid snapshot, skipping corrupt ones.
 
     Returns ``(runtime, info, skipped)`` where ``skipped`` lists the

@@ -25,6 +25,7 @@ class RaftCluster:
         network: Network,
         engine: EventEngine,
         on_apply: Optional[Callable[[int, int, Any], None]] = None,
+        **node_kwargs,
     ):
         if len(set(node_ids)) != len(node_ids):
             raise ValueError("node ids must be unique")
@@ -41,6 +42,7 @@ class RaftCluster:
                 network=network,
                 engine=engine,
                 apply_callback=self._record_apply,
+                **node_kwargs,
             )
 
     def _record_apply(self, node_id: int, index: int, command: Any) -> None:

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.core.account import Account
 from repro.core.allocation import AllocationEngine
 from repro.core.config import SystemConfig
@@ -79,6 +81,8 @@ def build_cluster(
     seed: int = 0,
     with_energy_meters: bool = False,
     node_classes: Optional[Dict[int, type]] = None,
+    engine: Optional[EventEngine] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> EdgeCluster:
     """Build a connected cluster of ``node_count`` edge devices.
 
@@ -88,26 +92,36 @@ def build_cluster(
     ``node_classes`` maps node ids to :class:`EdgeNode` subclasses —
     used by the Byzantine tests to plant adversaries (e.g.
     :class:`~repro.core.adversary.DenyingNode`) among honest nodes.
+
+    ``engine`` injects a shared :class:`EventEngine` instead of creating
+    one from ``seed``, and ``rng`` a cluster-private numpy generator for
+    layout/mobility/allocation draws (default: the engine's stream) — the
+    federation layer uses both to place K clusters on one simulated clock
+    while keeping each cluster's randomness an independent function of
+    its derived seed.
     """
     if node_count < 2:
         raise ValueError("a blockchain network needs at least 2 nodes")
-    engine = EventEngine(seed=seed)
+    if engine is None:
+        engine = EventEngine(seed=seed)
+    if rng is None:
+        rng = engine.np_rng
     positions = connected_random_positions(
         node_count,
-        engine.np_rng,
+        rng,
         field_size=config.field_size,
         comm_range=config.comm_range,
     )
     topology = Topology(positions, comm_range=config.comm_range)
     mobility = RangeBoundedMobility.uniform(
         positions,
-        engine.np_rng,
+        rng,
         wander_range=config.mobility_range,
         field_size=config.field_size,
     )
     channel = ChannelModel(hop_delay=config.hop_delay, bandwidth=config.bandwidth)
     network = Network(engine, topology, channel)
-    allocator = AllocationEngine(config, rng=engine.np_rng)
+    allocator = AllocationEngine(config, rng=rng)
 
     accounts = {
         node_id: Account.for_node(seed, node_id) for node_id in range(node_count)

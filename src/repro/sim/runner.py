@@ -23,7 +23,9 @@ The runner is split into three phases so the persistence subsystem
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.config import SystemConfig
 from repro.metrics.collector import RunMetrics, collect_run_metrics
@@ -118,11 +120,19 @@ class _ProductionDriver:
     """
 
     def __init__(
-        self, cluster: EdgeCluster, spec: ExperimentSpec, requests: _RequestDriver
+        self,
+        cluster: EdgeCluster,
+        spec: ExperimentSpec,
+        requests: _RequestDriver,
+        rng: Optional[np.random.Generator] = None,
     ):
         self.cluster = cluster
         self.spec = spec
         self.requests = requests
+        #: Requester-sampling randomness; ``None`` keeps the historical
+        #: behaviour of drawing from the engine's shared stream, federated
+        #: runs pass each cluster its own generator.
+        self.rng = rng
 
     def produce(self, event: ProductionEvent) -> None:
         node = self.cluster.nodes[event.producer]
@@ -138,7 +148,7 @@ class _ProductionDriver:
             producer=event.producer,
             production_time=self.cluster.engine.now,
             requester_fraction=self.spec.config.requester_fraction,
-            rng=self.cluster.engine.np_rng,
+            rng=self.rng if self.rng is not None else self.cluster.engine.np_rng,
         )
         for requester, when in zip(plan.requesters, plan.times):
             self.requests.schedule(requester, metadata.data_id, when)
@@ -213,6 +223,39 @@ def build_runtime(spec: ExperimentSpec) -> SimRuntime:
     return runtime
 
 
+def attach_workload(
+    cluster: EdgeCluster,
+    spec: ExperimentSpec,
+    rng: Optional[np.random.Generator] = None,
+    start_at: float = 0.0,
+) -> Tuple[_ProductionDriver, _RequestDriver]:
+    """Generate and schedule the Poisson production + request workload.
+
+    ``rng`` (default: the cluster engine's stream) sources both the
+    production schedule and the per-item requester sampling; ``start_at``
+    offsets every production so federated runs can hold the workload back
+    until membership formation has converged.  Returns the two drivers so
+    callers can hang them off their runtime for snapshotting.
+    """
+    engine = cluster.engine
+    workload_rng = rng if rng is not None else engine.np_rng
+    schedule = generate_production_schedule(
+        node_count=spec.node_count,
+        items_per_minute=spec.config.data_items_per_minute,
+        duration_seconds=spec.duration_seconds - start_at,
+        rng=workload_rng,
+    )
+    request_driver = _RequestDriver(cluster)
+    production = _ProductionDriver(cluster, spec, request_driver, rng=rng)
+    # Retained so the federation layer can precompute the deterministic
+    # data ids this workload will mint (data_id_for needs only producer
+    # account + sequence) when planning cross-cluster lookups.
+    production.schedule = tuple(schedule)
+    for event in schedule:
+        engine.call_at(start_at + event.time, production.produce, event)
+    return production, request_driver
+
+
 def _build_runtime(spec: ExperimentSpec) -> SimRuntime:
     cluster = build_cluster(
         spec.node_count, spec.config, seed=spec.seed, node_classes=spec.node_classes
@@ -221,16 +264,7 @@ def _build_runtime(spec: ExperimentSpec) -> SimRuntime:
     duration = spec.duration_seconds
 
     # --- workload: production + requests -------------------------------------
-    schedule = generate_production_schedule(
-        node_count=spec.node_count,
-        items_per_minute=spec.config.data_items_per_minute,
-        duration_seconds=duration,
-        rng=engine.np_rng,
-    )
-    request_driver = _RequestDriver(cluster)
-    production = _ProductionDriver(cluster, spec, request_driver)
-    for event in schedule:
-        engine.call_at(event.time, production.produce, event)
+    production, request_driver = attach_workload(cluster, spec)
 
     # --- mobility epochs -------------------------------------------------------
     mobility: Optional[_MobilityDriver] = None

@@ -1,0 +1,207 @@
+"""Unit tests: fog directory primitives, federation seeds, fed monitors.
+
+The directory is the only thing clusters share, so its primitives carry
+the federation's correctness weight: the bloom summaries must never
+produce false negatives (a lookup that skips the owning cluster is a
+lost item), replica merges must converge under any gossip order, and the
+derived per-cluster seed streams must be stable and mutually distinct.
+"""
+
+import pytest
+
+from repro.federation.directory import (
+    BloomFilter,
+    ClusterSummary,
+    DirectoryReplica,
+)
+from repro.federation.spec import (
+    FederationSpec,
+    cluster_seed,
+    derived_seed,
+)
+from repro.obs.monitors import (
+    AdmissionRejectionMonitor,
+    ChainStallMonitor,
+    DirectoryStalenessMonitor,
+    LookupFailureMonitor,
+    MonitorSuite,
+    PrefixedMonitor,
+)
+from tests.helpers import make_config
+
+pytestmark = pytest.mark.fed
+
+
+def summary(cluster_id=0, version=1, updated_at=0.0, keys=()):
+    bloom = BloomFilter.sized_for(max(len(keys), 8))
+    for key in keys:
+        bloom.add(key)
+    return ClusterSummary(
+        cluster_id=cluster_id,
+        version=version,
+        updated_at=updated_at,
+        height=version,
+        chain_digest=f"digest-{cluster_id}-{version}",
+        checkpoint_height=0,
+        checkpoint_digest="genesis",
+        item_count=len(keys),
+        bloom=bloom,
+        stake_top_share=0.5,
+        storage_used_fraction=0.1,
+        free_slots=10,
+        fairness_max=1.0,
+    )
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        keys = [f"data-{i}" for i in range(200)]
+        bloom = BloomFilter.sized_for(len(keys))
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_is_low(self):
+        keys = [f"data-{i}" for i in range(500)]
+        bloom = BloomFilter.sized_for(len(keys))
+        for key in keys:
+            bloom.add(key)
+        probes = [f"absent-{i}" for i in range(2000)]
+        hits = sum(1 for probe in probes if probe in bloom)
+        # 10 bits/item targets ~1%; leave generous slack for hash luck.
+        assert hits / len(probes) < 0.05
+
+    def test_digest_tracks_content(self):
+        a = BloomFilter.sized_for(64)
+        b = BloomFilter.sized_for(64)
+        assert a.digest() == b.digest()
+        a.add("x")
+        assert a.digest() != b.digest()
+        b.add("x")
+        assert a == b and a.digest() == b.digest()
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter.sized_for(8)
+        assert "anything" not in bloom
+        assert bloom.count == 0 and bloom.fill_ratio() == 0.0
+
+
+class TestDirectoryReplica:
+    def test_merge_keeps_higher_version(self):
+        replica = DirectoryReplica()
+        assert replica.merge(summary(version=2))
+        assert not replica.merge(summary(version=1))
+        assert replica.entries[0].version == 2
+        assert replica.merge(summary(version=3))
+        assert replica.entries[0].version == 3
+
+    def test_merge_is_order_independent(self):
+        updates = [summary(cluster_id=k % 3, version=v) for k in range(3) for v in (1, 2, 3)]
+        forward = DirectoryReplica()
+        forward.merge_all(updates)
+        backward = DirectoryReplica()
+        backward.merge_all(reversed(updates))
+        assert forward.digest() == backward.digest()
+        assert forward.entries == backward.entries
+
+    def test_staleness_counts_missing_clusters_from_zero(self):
+        replica = DirectoryReplica()
+        replica.merge(summary(cluster_id=0, updated_at=90.0))
+        # Cluster 1 never reported: its entry is as old as the run.
+        assert replica.staleness(now=100.0, cluster_count=2) == 100.0
+        assert replica.staleness(now=100.0, cluster_count=1) == 10.0
+
+    def test_candidates_exclude_origin_and_respect_bloom(self):
+        replica = DirectoryReplica()
+        replica.merge(summary(cluster_id=0, keys=("item-a",)))
+        replica.merge(summary(cluster_id=1, keys=("item-a", "item-b")))
+        replica.merge(summary(cluster_id=2, keys=()))
+        assert replica.candidates_for("item-a", exclude=0) == [1]
+        assert set(replica.candidates_for("item-a", exclude=5)) == {0, 1}
+        assert replica.candidates_for("item-b", exclude=1) == []
+
+
+class TestFederationSeeds:
+    def test_cluster_seeds_are_stable_and_distinct(self):
+        seeds = [cluster_seed(42, k) for k in range(8)]
+        assert seeds == [cluster_seed(42, k) for k in range(8)]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds != [cluster_seed(43, k) for k in range(8)]
+
+    def test_derived_streams_do_not_collide(self):
+        labels = ("layout", "swim", "workload", "churn", "fog-peer", "lookups")
+        values = {derived_seed(7, label, 0) for label in labels}
+        assert len(values) == len(labels)
+        assert derived_seed(7, "swim", 0) != derived_seed(7, "swim", 1)
+
+    def test_spec_validation(self):
+        config = make_config()
+        with pytest.raises(ValueError):
+            FederationSpec(cluster_count=0, nodes_per_cluster=4, config=config)
+        with pytest.raises(ValueError):
+            FederationSpec(cluster_count=2, nodes_per_cluster=1, config=config)
+        with pytest.raises(ValueError):
+            FederationSpec(
+                cluster_count=2, nodes_per_cluster=4, config=config,
+                super_peer_count=0,
+            )
+        spec = FederationSpec(cluster_count=3, nodes_per_cluster=4, config=config)
+        assert spec.total_nodes == 12
+        assert len({spec.seed_for(k) for k in range(3)}) == 3
+        assert {spec.home_peer_of(k) for k in range(3)} <= set(range(spec.super_peer_count))
+
+
+class TestFederationMonitors:
+    def test_directory_staleness_levels(self):
+        monitor = DirectoryStalenessMonitor(refresh_seconds=30.0)
+        assert monitor.level({"fed_directory_staleness": 40.0})[0] == "ok"
+        assert monitor.level({"fed_directory_staleness": 120.0})[0] == "warning"
+        assert monitor.level({"fed_directory_staleness": 400.0})[0] == "critical"
+        assert monitor.level({})[0] == "ok"  # non-federated sample
+
+    def test_lookup_failures_level_on_delta(self):
+        monitor = LookupFailureMonitor()
+        assert monitor.level({"fed_lookup_failures": 0})[0] == "ok"
+        assert monitor.level({"fed_lookup_failures": 2})[0] == "warning"
+        # No new failures since the last sample: recovered.
+        assert monitor.level({"fed_lookup_failures": 2})[0] == "ok"
+
+    def test_prefixed_monitor_strips_prefix_and_renames(self):
+        inner = ChainStallMonitor(t0=10.0)
+        wrapped = PrefixedMonitor(inner, "c2_", "c2")
+        assert wrapped.name == "c2/chain-stall"
+        level, *_ = wrapped.level({"t": 0.0, "c2_height": 1})
+        assert level == "ok"
+        # 100 s with no growth at t0=10 crosses the 5*t0 stall threshold.
+        level, message, *_ = wrapped.level({"t": 100.0, "c2_height": 1})
+        assert level == "critical" and "stalled" in message
+
+    def test_prefixed_monitor_isolates_clusters(self):
+        healthy = PrefixedMonitor(AdmissionRejectionMonitor(), "c0_", "c0")
+        noisy = PrefixedMonitor(AdmissionRejectionMonitor(), "c1_", "c1")
+        sample = {
+            "t": 60.0,
+            "c0_chaos_rejections": 0,
+            "c1_chaos_rejections": 5,
+        }
+        assert healthy.level(sample)[0] == "ok"
+        assert noisy.level(sample)[0] == "warning"
+
+    def test_for_federation_suite_shape(self):
+        class _Domain:
+            def __init__(self, cluster_id):
+                self.cluster_id = cluster_id
+
+        class _Federation:
+            spec = FederationSpec(
+                cluster_count=2, nodes_per_cluster=4, config=make_config()
+            )
+            domains = [_Domain(0), _Domain(1)]
+
+        suite = MonitorSuite.for_federation(_Federation())
+        names = [monitor.name for monitor in suite.monitors]
+        assert "directory-staleness" in names
+        assert "lookup-failures" in names
+        assert "c0/chain-stall" in names and "c1/chain-stall" in names
+        # Raft leader-flap reads global registry fields — must not be cloned.
+        assert not any("leader-flap" in name for name in names)

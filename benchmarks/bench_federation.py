@@ -15,15 +15,10 @@ headline record is preserved).
 
 from __future__ import annotations
 
-import json
 from dataclasses import replace
-from pathlib import Path
 
 from repro.core.config import PAPER_CONFIG
 from repro.federation import FederationSpec, run_federation
-
-REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_HEADLINE_NAME = "BENCH_headline.json"
 
 #: Cluster counts swept at a fixed per-cluster size.
 FED_CLUSTER_COUNTS = (1, 2, 4)
@@ -60,22 +55,7 @@ def _sweep_cell(clusters: int) -> dict:
     }
 
 
-def _merge_headline(cells: dict) -> Path:
-    """Add the federation grid to BENCH_headline.json, keeping the rest."""
-    target = REPO_ROOT / BENCH_HEADLINE_NAME
-    record = (
-        json.loads(target.read_text(encoding="utf-8"))
-        if target.exists()
-        else {"schema": "repro.bench.headline/v1"}
-    )
-    record["federation"] = cells
-    with target.open("w", encoding="utf-8") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return target
-
-
-def test_federation_scale_sweep():
+def test_federation_scale_sweep(headline_sink):
     cells = {f"k{clusters}": _sweep_cell(clusters) for clusters in FED_CLUSTER_COUNTS}
 
     throughputs = [cells[f"k{k}"]["items_per_minute"] for k in FED_CLUSTER_COUNTS]
@@ -95,4 +75,4 @@ def test_federation_scale_sweep():
         cells[f"k{k}"]["lookups_ok"] > 0 for k in FED_CLUSTER_COUNTS if k > 1
     )
 
-    print(_merge_headline(cells))
+    print(headline_sink({"federation": cells}))

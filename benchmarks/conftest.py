@@ -35,6 +35,10 @@ from repro.version import package_version
 #: Seeds averaged per cell ("All results are the average of 2 simulations").
 PAPER_SEED_COUNT = 2
 
+#: Seed for the single-cell benches (full-scale anchor, scale sweep); the
+#: averaged sweeps use ``range(PAPER_SEED_COUNT)`` instead.
+BENCH_SEED = 5
+
 #: Where the headline sweep record accumulates the perf trajectory.
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_HEADLINE_NAME = "BENCH_headline.json"
@@ -42,26 +46,38 @@ BENCH_HEADLINE_NAME = "BENCH_headline.json"
 
 @pytest.fixture(scope="session")
 def headline_sink():
-    """Writer for the repo-root ``BENCH_headline.json`` record.
+    """Merging writer for the repo-root ``BENCH_headline.json`` record.
 
-    The headline benchmark calls this with its measured numbers plus the
-    full sweep grids; successive commits then carry a comparable perf
-    fingerprint at a fixed path.
+    Read-modify-write: the payload's top-level keys are merged into the
+    existing record (the way ``bench_federation`` merges its grid), so
+    independent bench modules — the headline sweep, the federation
+    sweep, the scale sweep — can each contribute their section without
+    clobbering the others.  Successive commits then carry a comparable
+    perf fingerprint at a fixed path.
     """
 
     def write(payload: dict) -> Path:
         target = REPO_ROOT / BENCH_HEADLINE_NAME
-        record = {
-            "schema": "repro.bench.headline/v1",
-            "version": package_version(),
-            **payload,
-        }
+        record = (
+            json.loads(target.read_text(encoding="utf-8"))
+            if target.exists()
+            else {}
+        )
+        record.update(payload)
+        record["schema"] = "repro.bench.headline/v1"
+        record["version"] = package_version()
         with target.open("w", encoding="utf-8") as handle:
             json.dump(record, handle, indent=2, sort_keys=True)
             handle.write("\n")
         return target
 
     return write
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """The shared seed for single-cell benches (see :data:`BENCH_SEED`)."""
+    return BENCH_SEED
 
 
 def _cell_metrics(spec, label: str) -> RunMetrics:

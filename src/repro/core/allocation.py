@@ -22,6 +22,7 @@ from repro.core.config import SystemConfig
 from repro.core.errors import AllocationError
 from repro.facility.costs import build_storage_ufl
 from repro.facility.greedy import solve_greedy
+from repro.facility.incremental import IncrementalUFLSolver
 from repro.facility.local_search import solve_local_search
 from repro.facility.lp_rounding import solve_lp_rounding
 from repro.facility.problem import UFLProblem, UFLSolution
@@ -46,6 +47,8 @@ class AllocationEngine:
         self._rng = rng if rng is not None else np.random.default_rng(0)
         #: Count of placements that needed the least-loaded fallback.
         self.fallback_placements = 0
+        #: Warm-started solver state, shared across this cluster's solves.
+        self._incremental: Optional[IncrementalUFLSolver] = None
 
     def build_problem(
         self,
@@ -73,6 +76,10 @@ class AllocationEngine:
             return solve_local_search(problem)
         if solver == "lp_rounding":
             return solve_lp_rounding(problem)
+        if solver == "incremental":
+            if self._incremental is None:
+                self._incremental = IncrementalUFLSolver(base="greedy")
+            return self._incremental.solve(problem)
         if solver == "random":
             # Replica-matched baseline: random placement with the replica
             # count the optimal (greedy) solution would have chosen.

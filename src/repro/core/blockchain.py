@@ -152,13 +152,27 @@ class ChainState:
         ) / len(self.node_ids)
 
     def amendment(self, now: float) -> float:
-        """The B in force for the next race (Eq. 14)."""
-        return compute_amendment(
+        """The B in force for the next race (Eq. 14).
+
+        Memoised on ``(blocks_applied, now)``: within one ChainState the
+        ledger only changes when a block is applied, and every node on
+        the same tip asks for B at the parent's timestamp — without the
+        memo the Ū scan makes each block O(n²) in cluster size.  The
+        ``getattr`` guard keeps snapshots pickled before this cache
+        existed loadable.
+        """
+        key = (self.blocks_applied, now)
+        cached = getattr(self, "_amendment_cache", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        value = compute_amendment(
             self.config.hit_modulus,
             len(self.node_ids),
             self.config.expected_block_interval,
             self.mean_u(now),
         )
+        self._amendment_cache = (key, value)
+        return value
 
     def recent_cache_of(self, node: int) -> Tuple[int, ...]:
         return tuple(self._ledger[node].recent_cache)

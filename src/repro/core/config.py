@@ -46,8 +46,13 @@ class SystemConfig:
     # --- allocation ---
     fdc_weight: float = 1000.0
     #: UFL solver for placement: "greedy", "local_search", "lp_rounding",
+    #: "incremental" (warm-started greedy, digest-identical to "greedy"),
     #: or "random" (the Fig. 5 baseline).
     placement_solver: str = "greedy"
+    #: Coalesce same-time message deliveries into one event-queue pop.
+    #: Digest-identical to per-delivery scheduling; off retains the slow
+    #: path for the differential harness.
+    batch_deliveries: bool = True
     #: Replica count the random baseline copies from the optimal solution;
     #: None means "match the optimal solver's choice per item".
     random_replicas: Optional[int] = None
@@ -122,6 +127,7 @@ class SystemConfig:
             "greedy",
             "local_search",
             "lp_rounding",
+            "incremental",
             "random",
         ):
             raise ValueError(f"unknown placement solver: {self.placement_solver}")

@@ -120,7 +120,9 @@ def build_cluster(
         field_size=config.field_size,
     )
     channel = ChannelModel(hop_delay=config.hop_delay, bandwidth=config.bandwidth)
-    network = Network(engine, topology, channel)
+    network = Network(
+        engine, topology, channel, batch_deliveries=config.batch_deliveries
+    )
     allocator = AllocationEngine(config, rng=rng)
 
     accounts = {

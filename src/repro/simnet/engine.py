@@ -40,6 +40,9 @@ class _Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    #: Additional ``(callback, args)`` pairs run (in order) after the main
+    #: callback — one queue pop executing a whole same-time batch.
+    batch: Optional[tuple] = field(compare=False, default=None)
 
 
 class EventHandle:
@@ -121,6 +124,38 @@ class EventEngine:
         heapq.heappush(self._queue, event)
         return EventHandle(event)
 
+    def call_at_batch(
+        self, when: float, calls: Any
+    ) -> EventHandle:
+        """Run several ``(callback, args)`` pairs at ``when`` off one pop.
+
+        The pairs execute in order, each counted, traced, and
+        timeline-ticked exactly as if it had been scheduled individually
+        with consecutive sequence numbers — one heap entry replaces N.
+        Because consecutive same-time events can never interleave with
+        other events (the heap orders by ``(time, sequence)``), the
+        execution sequence is identical to N :meth:`call_at` calls; only
+        the queue-depth gauge sees the shallower queue.  Cancelling the
+        returned handle cancels the whole batch.
+        """
+        calls = tuple(calls)
+        if not calls:
+            raise ValueError("batch must contain at least one call")
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (when={when}, now={self._now})"
+            )
+        first_callback, first_args = calls[0]
+        event = _Event(
+            time=when,
+            sequence=next(self._sequence),
+            callback=first_callback,
+            args=tuple(first_args),
+            batch=calls[1:] or None,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
     def _pop_live(self) -> Optional[_Event]:
         while self._queue:
             event = heapq.heappop(self._queue)
@@ -135,24 +170,34 @@ class EventEngine:
         return self._queue[0].time if self._queue else None
 
     def step(self) -> bool:
-        """Execute the next event.  Returns False when the queue is empty."""
+        """Execute the next event (or batch).  False when the queue is empty.
+
+        A batched event's sub-calls each get their own span, counter
+        increment, and timeline tick, keeping the observable execution
+        sequence identical to the unbatched schedule.
+        """
         event = self._pop_live()
         if event is None:
             return False
         self._now = event.time
-        self.events_processed += 1
-        if _obs.is_enabled():
-            # Observability reads state only (clock, queue depth) — it can
-            # never perturb the deterministic execution it is watching.
-            with _obs.span(
-                "engine.event", "engine", callback=_callback_label(event.callback)
-            ):
-                event.callback(*event.args)
-            _obs.add("engine.events")
-            _obs.gauge_set("engine.queue_depth", len(self._queue))
-            _obs.timeline_tick(self._now)
+        if event.batch is None:
+            calls = ((event.callback, event.args),)
         else:
-            event.callback(*event.args)
+            calls = ((event.callback, event.args),) + event.batch
+        for callback, args in calls:
+            self.events_processed += 1
+            if _obs.is_enabled():
+                # Observability reads state only (clock, queue depth) — it
+                # can never perturb the deterministic execution it watches.
+                with _obs.span(
+                    "engine.event", "engine", callback=_callback_label(callback)
+                ):
+                    callback(*args)
+                _obs.add("engine.events")
+                _obs.gauge_set("engine.queue_depth", len(self._queue))
+                _obs.timeline_tick(self._now)
+            else:
+                callback(*args)
         return True
 
     def run(self, max_events: Optional[int] = None) -> None:

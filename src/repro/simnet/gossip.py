@@ -41,11 +41,16 @@ class GossipFabric:
         topology: Topology,
         channel: Optional[ChannelModel] = None,
         trace: Optional[TransmissionTrace] = None,
+        batch_deliveries: bool = True,
     ):
         self.engine = engine
         self.topology = topology
         self.channel = channel if channel is not None else ChannelModel()
         self.trace = trace if trace is not None else TransmissionTrace()
+        #: One queue pop per forwarding fan-out instead of one per neighbour
+        #: (all of a hop's receptions share the same latency).  Loss draws
+        #: stay per-neighbour in the same RNG order either way.
+        self.batch_deliveries = batch_deliveries
         self._seen: Dict[int, Set[int]] = {}
         self._handler: Optional[GossipHandler] = None
         self._next_id = 0
@@ -87,6 +92,7 @@ class GossipFabric:
     def _forward(self, node: int, message: _GossipMessage) -> None:
         """Re-broadcast from ``node`` to its *current* neighbours."""
         latency = self.channel.hop_latency(message.size_bytes)
+        pending = []
         for neighbor in self.topology.neighbors(node):
             if not self.is_online(neighbor):
                 continue
@@ -94,7 +100,12 @@ class GossipFabric:
                 self.trace.record_hop(node, neighbor, message.size_bytes, message.category)
                 continue
             self.trace.record_hop(node, neighbor, message.size_bytes, message.category)
-            self.engine.schedule(latency, self._receive, neighbor, node, message)
+            if self.batch_deliveries:
+                pending.append((self._receive, (neighbor, node, message)))
+            else:
+                self.engine.schedule(latency, self._receive, neighbor, node, message)
+        if pending:
+            self.engine.call_at_batch(self.engine.now + latency, pending)
 
     def _receive(self, node: int, upstream: int, message: _GossipMessage) -> None:
         if not self.is_online(node):

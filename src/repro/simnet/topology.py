@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
+from repro.obs import runtime as _obs
+
 #: Field side length in metres (paper Section VI).
 DEFAULT_FIELD_SIZE = 300.0
 
@@ -105,6 +107,15 @@ class Topology:
     Node identifiers are the integer indices of the ``positions`` sequence.
     Rebuild (or call :meth:`update_positions`) whenever mobility moves nodes;
     hop-count tables are recomputed lazily.
+
+    Edge membership is defined by ``Position.distance_to(other) <=
+    comm_range`` — the scalar ``math.hypot`` comparison.  The vectorised
+    construction path reproduces that definition bit-for-bit: squared
+    distances classify every pair whose squared distance is outside a
+    ±1e-9 relative band around ``comm_range²`` (float64 squaring and
+    ``math.hypot`` both carry ≲1 ulp ≈ 1e-15 relative error, six orders
+    of magnitude inside the band), and the rare boundary pairs fall back
+    to the scalar ``math.hypot`` check itself.
     """
 
     def __init__(
@@ -117,50 +128,119 @@ class Topology:
         self.comm_range = comm_range
         self._positions: List[Position] = list(positions)
         self._graph = nx.Graph()
-        self._hops: Optional[Dict[int, Dict[int, int]]] = None
+        self._hop_cache: Optional[np.ndarray] = None
         self._paths: Dict[Tuple[int, int], List[int]] = {}
+        #: Identity of the current position-derived (full) edge set; lets a
+        #: mobility epoch that didn't change connectivity keep every cache.
+        self._edge_key: Optional[bytes] = None
+        #: Nodes whose edges were stripped (offline): while non-empty the
+        #: graph differs from the full unit-disk graph, so mobility epochs
+        #: must rebuild even when the full edge set is unchanged.
+        self._stripped: set = set()
         self._rebuild_graph()
 
     # -- construction --------------------------------------------------------
 
+    def _full_edges(self, coords: np.ndarray) -> np.ndarray:
+        """All unit-disk edges for ``coords``, as an (m, 2) int array in
+        row-major ``i < j`` order — the insertion order of the original
+        nested-loop construction (preserved so networkx adjacency order,
+        and with it every BFS tie-break, stays identical)."""
+        n = coords.shape[0]
+        if n < 2:
+            return np.empty((0, 2), dtype=np.int64)
+        rows, cols = np.triu_indices(n, k=1)
+        dx = coords[rows, 0] - coords[cols, 0]
+        dy = coords[rows, 1] - coords[cols, 1]
+        d2 = dx * dx + dy * dy
+        r2 = self.comm_range * self.comm_range
+        band = r2 * 1e-9
+        within = d2 <= r2 + band
+        boundary = within & (d2 > r2 - band)
+        if boundary.any():
+            # Within a whisker of the range: defer to the scalar definition.
+            for k in np.nonzero(boundary)[0]:
+                i, j = int(rows[k]), int(cols[k])
+                within[k] = (
+                    self._positions[i].distance_to(self._positions[j])
+                    <= self.comm_range
+                )
+        return np.column_stack((rows[within], cols[within]))
+
+    def _coords(self) -> np.ndarray:
+        return np.array([(p.x, p.y) for p in self._positions], dtype=np.float64)
+
     def _rebuild_graph(self) -> None:
+        edges = self._full_edges(self._coords())
         graph = nx.Graph()
         graph.add_nodes_from(range(len(self._positions)))
-        for i in range(len(self._positions)):
-            for j in range(i + 1, len(self._positions)):
-                if self._positions[i].distance_to(self._positions[j]) <= self.comm_range:
-                    graph.add_edge(i, j)
+        graph.add_edges_from(edges.tolist())
         self._graph = graph
-        self._hops = None
+        self._edge_key = edges.tobytes()
+        self._stripped.clear()
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._hop_cache = None
         self._paths.clear()
 
     def update_positions(self, positions: Sequence[Position]) -> None:
-        """Replace all node positions (mobility epoch) and invalidate caches."""
+        """Replace all node positions (mobility epoch).
+
+        Caches (hop matrix, shortest paths, the graph itself) are kept when
+        the move didn't change the unit-disk edge set — the common case for
+        the paper's 30 m wander inside a 70 m radio range — and invalidated
+        otherwise.  Offline nodes force a rebuild because the historical
+        contract is that a rebuild restores their edges (the simulation
+        re-strips them via ``Network.reapply_offline``).
+        """
         if len(positions) != len(self._positions):
             raise ValueError("node count cannot change via update_positions")
         self._positions = list(positions)
+        if not self._stripped:
+            edges = self._full_edges(self._coords())
+            if edges.tobytes() == self._edge_key:
+                _obs.add("routing.cache_hit")
+                return
+            graph = nx.Graph()
+            graph.add_nodes_from(range(len(self._positions)))
+            graph.add_edges_from(edges.tolist())
+            self._graph = graph
+            self._edge_key = edges.tobytes()
+            self._invalidate()
+            _obs.add("routing.recompute")
+            return
+        _obs.add("routing.recompute")
         self._rebuild_graph()
 
     def remove_node(self, node: int) -> None:
         """Take a node offline (it keeps its index but loses all edges)."""
         if node not in self._graph:
             raise KeyError(f"unknown node {node}")
-        self._graph.remove_edges_from(list(self._graph.edges(node)))
-        self._hops = None
-        self._paths.clear()
+        edges = list(self._graph.edges(node))
+        if not edges:
+            # Nothing to strip — the graph (and every cache) is unchanged.
+            _obs.add("routing.cache_hit")
+            return
+        self._graph.remove_edges_from(edges)
+        self._stripped.add(node)
+        self._invalidate()
 
     def restore_node(self, node: int) -> None:
         """Bring a node back online, reconnecting edges from its position."""
         if not (0 <= node < len(self._positions)):
             raise KeyError(f"unknown node {node}")
+        added = False
         for other in range(len(self._positions)):
             if other == node:
                 continue
             if self._positions[node].distance_to(self._positions[other]) <= self.comm_range:
                 if self._graph.degree(other) is not None:
                     self._graph.add_edge(node, other)
-        self._hops = None
-        self._paths.clear()
+                    added = True
+        self._stripped.discard(node)
+        if added:
+            self._invalidate()
 
     # -- queries --------------------------------------------------------------
 
@@ -196,29 +276,61 @@ class Topology:
         subgraph = self._graph.subgraph(node_list)
         return nx.is_connected(subgraph)
 
-    def _hop_table(self) -> Dict[int, Dict[int, int]]:
-        if self._hops is None:
-            self._hops = {
-                source: dict(lengths)
-                for source, lengths in nx.all_pairs_shortest_path_length(self._graph)
-            }
-        return self._hops
+    def _compute_hop_matrix(self) -> np.ndarray:
+        """All-pairs BFS hop counts via frontier/adjacency products.
+
+        Hop counts are small integers, so the float32 matrix products are
+        exact (frontier sums never approach 2²⁴) and the result is the
+        same shortest-path-length matrix networkx's per-source BFS yields,
+        at a fraction of the Python-loop cost.
+        """
+        n = self.node_count
+        matrix = np.full((n, n), UNREACHABLE, dtype=np.int64)
+        if n == 0:
+            return matrix
+        np.fill_diagonal(matrix, 0)
+        if n == 1:
+            return matrix
+        adjacency = np.zeros((n, n), dtype=np.float32)
+        for i, j in self._graph.edges:
+            adjacency[i, j] = 1.0
+            adjacency[j, i] = 1.0
+        reached = np.eye(n, dtype=bool)
+        frontier = reached.copy()
+        level = 0
+        while True:
+            level += 1
+            spread = (frontier.astype(np.float32) @ adjacency) > 0.0
+            frontier = spread & ~reached
+            if not frontier.any():
+                break
+            matrix[frontier] = level
+            reached |= frontier
+        return matrix
+
+    def _hop_matrix_cached(self) -> np.ndarray:
+        if self._hop_cache is None:
+            matrix = self._compute_hop_matrix()
+            matrix.flags.writeable = False
+            self._hop_cache = matrix
+            _obs.add("routing.recompute")
+        else:
+            _obs.add("routing.cache_hit")
+        return self._hop_cache
 
     def hop_count(self, source: int, target: int) -> int:
         """Shortest hop-count between two nodes, or ``UNREACHABLE``."""
         if source == target:
             return 0
-        table = self._hop_table()
-        return table.get(source, {}).get(target, UNREACHABLE)
+        return int(self._hop_matrix_cached()[source, target])
 
     def hop_matrix(self) -> np.ndarray:
-        """Dense matrix of hop counts (``UNREACHABLE`` where disconnected)."""
-        n = self.node_count
-        matrix = np.full((n, n), UNREACHABLE, dtype=np.int64)
-        for source, lengths in self._hop_table().items():
-            for target, hops in lengths.items():
-                matrix[source, target] = hops
-        return matrix
+        """Dense matrix of hop counts (``UNREACHABLE`` where disconnected).
+
+        Cached per topology epoch and returned read-only; callers treat it
+        as a value (the allocation layer converts to float anyway).
+        """
+        return self._hop_matrix_cached()
 
     def shortest_path(self, source: int, target: int) -> Optional[List[int]]:
         """One shortest path (node list incl. endpoints), or None.

@@ -122,6 +122,51 @@ def make_raft_cluster(
     return engine, network, cluster
 
 
+def digest_run(
+    node_count: int = 8,
+    seed: int = 5,
+    duration_minutes: float = 5.0,
+    *,
+    timeline_interval: float = 30.0,
+    mobility_epoch_minutes: float = 10.0,
+    churn: Optional[ChurnSpec] = None,
+    config: Optional[SystemConfig] = None,
+    **config_overrides,
+) -> Tuple[str, str, Optional[dict]]:
+    """One seeded run's full fingerprint: chain digest, ledger digest, verdict.
+
+    The differential fast-path harness runs the same scenario through two
+    configurations (e.g. ``placement_solver="greedy"`` vs
+    ``"incremental"``, ``batch_deliveries`` on vs off) and asserts the
+    triples are equal — digest equality pins every block, placement, and
+    balance; verdict equality pins the sampled protocol timeline the
+    monitors watched.  Observability is enabled around the run (it is
+    non-perturbing; the overhead guard proves that separately).
+    """
+    from repro import obs  # local import: obs state is process-global
+
+    if config is None:
+        config = make_config(**config_overrides)
+    elif config_overrides:
+        config = replace(config, **config_overrides)
+    spec = ExperimentSpec(
+        node_count=node_count,
+        config=config,
+        seed=seed,
+        duration_minutes=duration_minutes,
+        mobility_epoch_minutes=mobility_epoch_minutes,
+        churn=churn,
+    )
+    session = obs.enable(timeline_interval=timeline_interval)
+    try:
+        result = run_experiment(spec)
+        verdict = session.monitors.verdict() if session.monitors is not None else None
+    finally:
+        obs.disable()
+    chain = result.cluster.longest_chain_node().chain
+    return chain.chain_digest(), chain.state.ledger_digest(), verdict
+
+
 #: Memoised seeded runs, keyed by (cache scope, full spec).
 _RUN_CACHE: Dict[tuple, ExperimentResult] = {}
 

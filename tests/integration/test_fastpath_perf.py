@@ -1,0 +1,92 @@
+"""Perf-regression guard for the incremental UFL fast path.
+
+The equivalence suite (``tests/property/test_fastpath_equivalence.py``)
+proves the incremental solver returns bit-identical solutions; this
+module proves it is actually *fast* — the whole point of the fast path.
+A 200-item replay (fixed connection matrix, one facility-cost bump per
+step — the exact access pattern the simulation produces between mobility
+epochs) must run at least 5× faster through
+:class:`~repro.facility.incremental.IncrementalUFLSolver` than through
+200 from-scratch :func:`~repro.facility.greedy.solve_greedy` calls.
+
+The assertion is a *ratio* of wall-clock times on the same machine in
+the same process, so it is robust to absolute machine speed; set
+``REPRO_SKIP_PERF=1`` to skip it outright on noisy shared runners.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.facility.greedy import solve_greedy
+from repro.facility.incremental import IncrementalUFLSolver
+from repro.facility.problem import UFLProblem
+
+pytestmark = pytest.mark.fastpath
+
+#: Replay length and problem size: 200 placements over a 30-node cluster,
+#: matching the dominant shape of a long steady-state simulation window.
+REPLAY_STEPS = 200
+SIZE = 30
+
+#: Required speedup.  Calibrated headroom: the vectorised incremental
+#: path measures ~8× on this replay; 5× is the regression floor.
+MIN_SPEEDUP = 5.0
+
+
+def _replay_problems():
+    """The 200-instance replay: fixed RDC matrix, drifting FDC vector."""
+    rng = np.random.default_rng(7)
+    conn = rng.uniform(1.0, 50.0, size=(SIZE, SIZE))
+    base_costs = rng.uniform(10.0, 200.0, size=SIZE)
+    costs = base_costs.copy()
+    problems = []
+    for step in range(REPLAY_STEPS):
+        problems.append(
+            UFLProblem(facility_costs=costs.copy(), connection_costs=conn)
+        )
+        bump = step % SIZE
+        costs[bump] = base_costs[bump] * (1.0 + 0.01 * ((step % 7) + 1))
+    return problems
+
+
+def _timed(solver, problems):
+    start = time.perf_counter()
+    solutions = [solver(problem) for problem in problems]
+    return time.perf_counter() - start, solutions
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_PERF") == "1",
+    reason="REPRO_SKIP_PERF=1: perf-regression guards disabled",
+)
+def test_incremental_replay_is_5x_faster_than_greedy():
+    problems = _replay_problems()
+    # Warm-up pass keeps import/JIT-ish one-time numpy costs out of the
+    # measured region for both contenders.
+    solve_greedy(problems[0])
+    greedy_time, greedy_solutions = _timed(solve_greedy, problems)
+
+    incremental = IncrementalUFLSolver(base="greedy")
+    incremental.solve(problems[0])  # warm the epoch caches once
+    fast_time, fast_solutions = _timed(incremental.solve, problems)
+
+    # Equivalence first: a fast wrong answer is not a fast path.
+    for slow, fast in zip(greedy_solutions, fast_solutions):
+        assert slow.open_facilities == fast.open_facilities
+        assert slow.assignment == fast.assignment
+
+    speedup = greedy_time / fast_time
+    assert speedup >= MIN_SPEEDUP, (
+        f"incremental replay only {speedup:.1f}x faster than greedy "
+        f"({fast_time * 1000:.0f} ms vs {greedy_time * 1000:.0f} ms); "
+        f"regression floor is {MIN_SPEEDUP}x"
+    )
+    # The replay must actually have exercised the warm path, not the
+    # structural-change fallback.
+    assert incremental.fallbacks <= 1
+    assert incremental.fast_solves >= REPLAY_STEPS - incremental.fallbacks - 1

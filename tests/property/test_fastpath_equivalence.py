@@ -1,0 +1,429 @@
+"""Differential harness: every fast path is bit-identical to its slow path.
+
+The fast-path simulation core (incremental UFL, cached routing, batched
+delivery, vectorised PoS) buys speed only — never different results.  This
+suite is the enforcement: each optimisation is driven side by side with
+the implementation it replaces, from Hypothesis-generated component
+instances up to full seeded experiments whose ``chain_digest`` /
+``ledger_digest`` / monitor verdict must match exactly.
+
+Layers:
+
+* **UFL** — :class:`IncrementalUFLSolver` vs :func:`solve_greedy` over
+  random replay sequences (facility-cost drift between solves, occasional
+  connection-matrix changes exercising the structural-change fallback).
+* **Routing** — vectorised unit-disk edges and the cached BFS hop matrix
+  vs the nested-loop + networkx reference, across mobility and churn.
+* **Delivery** — batched vs per-event scheduling: identical execution
+  order, identical RNG stream, identical traffic accounting.
+* **PoS** — exact-integer ``mining_delay`` vs the Fraction reference, and
+  the batched lottery vs scalar loops, including >2⁵³ hits.
+* **End to end** — seeded scenarios (steady state, fast mobility, churn)
+  run with every fast path on vs every fast path off.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pos import (
+    _mining_delay_reference,
+    compute_hit,
+    compute_hits,
+    lottery_delays,
+    mining_delay,
+    mining_delays,
+)
+from repro.facility.greedy import solve_greedy
+from repro.facility.incremental import IncrementalUFLSolver
+from repro.facility.problem import UFLProblem
+from repro.sim.runner import ChurnSpec
+from repro.simnet.channel import ChannelModel
+from repro.simnet.engine import EventEngine
+from repro.simnet.gossip import GossipFabric
+from repro.simnet.topology import Position, Topology, random_positions
+from repro.simnet.transport import Network
+from tests.helpers import digest_run
+
+pytestmark = pytest.mark.fastpath
+
+
+# -- UFL: incremental vs from-scratch greedy ------------------------------------------
+
+
+@st.composite
+def ufl_replay_sequences(draw):
+    """A per-item replay: one connection epoch, drifting facility costs.
+
+    Mirrors what the allocator sees between mobility epochs — the RDC
+    matrix is fixed while the FDC vector moves a little after every
+    placement; occasionally the matrix itself changes (a mobility epoch)
+    to exercise the structural-change fallback.
+    """
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    num_f = draw(st.integers(min_value=2, max_value=8))
+    num_c = draw(st.integers(min_value=1, max_value=8))
+    steps = draw(st.integers(min_value=2, max_value=10))
+    epoch_changes = draw(st.integers(min_value=0, max_value=2))
+    return seed, num_f, num_c, steps, epoch_changes
+
+
+def _random_instance(rng, num_f, num_c):
+    connection = rng.uniform(0.0, 30.0, size=(num_f, num_c))
+    connection[rng.random((num_f, num_c)) < 0.1] = np.inf
+    facility_costs = rng.uniform(0.0, 2000.0, size=num_f)
+    return facility_costs, connection
+
+
+class TestIncrementalUFLEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(ufl_replay_sequences())
+    def test_replay_matches_greedy_exactly(self, sequence):
+        seed, num_f, num_c, steps, epoch_changes = sequence
+        rng = np.random.default_rng(seed)
+        solver = IncrementalUFLSolver()
+        facility_costs, connection = _random_instance(rng, num_f, num_c)
+        change_at = set(
+            rng.integers(1, steps, size=epoch_changes).tolist()
+        ) if epoch_changes else set()
+        for step in range(steps):
+            if step in change_at:
+                _, connection = _random_instance(rng, num_f, num_c)
+            # FDC drift: the previous winners' loads went up a slot.
+            bump = rng.integers(0, num_f)
+            facility_costs = facility_costs.copy()
+            facility_costs[bump] += rng.uniform(0.0, 50.0)
+            problem = UFLProblem(
+                facility_costs=facility_costs.copy(),
+                connection_costs=connection.copy(),
+            )
+            if not problem.is_feasible():
+                continue
+            expected = solve_greedy(problem)
+            actual = solver.solve(problem)
+            assert actual.open_facilities == expected.open_facilities
+            assert actual.assignment == expected.assignment
+
+    def test_memo_returns_identical_solution_object_results(self):
+        rng = np.random.default_rng(3)
+        solver = IncrementalUFLSolver()
+        facility_costs, connection = _random_instance(rng, 5, 6)
+        problem = UFLProblem(
+            facility_costs=facility_costs, connection_costs=connection
+        )
+        first = solver.solve(problem)
+        again = solver.solve(problem)
+        assert again.open_facilities == first.open_facilities
+        assert solver.reuse_hits >= 1
+
+    def test_structural_change_falls_back_and_recovers(self):
+        rng = np.random.default_rng(9)
+        solver = IncrementalUFLSolver()
+        for _ in range(3):  # three epochs: each first solve is a fallback
+            facility_costs, connection = _random_instance(rng, 6, 6)
+            for _ in range(4):
+                facility_costs = facility_costs.copy()
+                facility_costs[rng.integers(0, 6)] += 25.0
+                problem = UFLProblem(
+                    facility_costs=facility_costs.copy(),
+                    connection_costs=connection.copy(),
+                )
+                assert (
+                    solver.solve(problem).open_facilities
+                    == solve_greedy(problem).open_facilities
+                )
+        assert solver.fallbacks == 3
+        assert solver.fast_solves > 0
+
+
+# -- Routing: vectorised edges + cached hop matrix vs reference ------------------------
+
+
+def _reference_graph(positions, comm_range):
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(positions)))
+    for i in range(len(positions)):
+        for j in range(i + 1, len(positions)):
+            if positions[i].distance_to(positions[j]) <= comm_range:
+                graph.add_edge(i, j)
+    return graph
+
+
+def _reference_hop_matrix(graph, n):
+    matrix = np.full((n, n), -1, dtype=np.int64)
+    for source, lengths in nx.all_pairs_shortest_path_length(graph):
+        for target, hops in lengths.items():
+            matrix[source, target] = hops
+    return matrix
+
+
+class TestRoutingCacheEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=1, max_value=40),
+    )
+    def test_edges_and_hops_match_reference(self, seed, n):
+        rng = np.random.default_rng(seed)
+        positions = random_positions(n, rng)
+        topology = Topology(positions)
+        reference = _reference_graph(positions, topology.comm_range)
+        assert list(topology.graph.edges) == list(reference.edges)
+        assert (
+            topology.hop_matrix() == _reference_hop_matrix(reference, n)
+        ).all()
+
+    def test_boundary_distance_matches_scalar_definition(self):
+        # Two nodes exactly comm_range apart: an edge by the scalar
+        # ``<=`` definition; the banded vector path must agree.
+        positions = [Position(0.0, 0.0), Position(70.0, 0.0), Position(200.0, 200.0)]
+        topology = Topology(positions, comm_range=70.0)
+        assert (0, 1) in topology.graph.edges
+        just_outside = [
+            Position(0.0, 0.0),
+            Position(float(np.nextafter(70.0, 71.0)), 0.0),
+        ]
+        assert (0, 1) not in Topology(just_outside, comm_range=70.0).graph.edges
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=3, max_value=25),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_mobility_and_churn_keep_reference_equality(self, seed, n, epochs):
+        rng = np.random.default_rng(seed)
+        positions = random_positions(n, rng)
+        topology = Topology(positions)
+        for _ in range(epochs):
+            action = rng.integers(0, 3)
+            if action == 0:  # small jitter — often leaves the edge set alone
+                positions = [
+                    Position(p.x + float(rng.uniform(-1, 1)), p.y)
+                    for p in positions
+                ]
+                topology.update_positions(positions)
+            elif action == 1:  # full resample
+                positions = random_positions(n, rng)
+                topology.update_positions(positions)
+            else:  # churn round-trip
+                node = int(rng.integers(0, n))
+                topology.remove_node(node)
+                topology.restore_node(node)
+            reference = _reference_graph(positions, topology.comm_range)
+            assert sorted(topology.graph.edges) == sorted(reference.edges)
+            assert (
+                topology.hop_matrix() == _reference_hop_matrix(reference, n)
+            ).all()
+
+    def test_unchanged_epoch_reuses_cached_matrix(self):
+        rng = np.random.default_rng(4)
+        positions = random_positions(12, rng)
+        topology = Topology(positions)
+        before = topology.hop_matrix()
+        topology.update_positions(positions)  # same coordinates
+        assert topology.hop_matrix() is before  # identity: nothing recomputed
+
+    def test_offline_node_forces_epoch_rebuild(self):
+        rng = np.random.default_rng(6)
+        positions = random_positions(10, rng)
+        topology = Topology(positions)
+        topology.remove_node(0)
+        topology.update_positions(positions)  # rebuild restores node 0
+        reference = _reference_graph(positions, topology.comm_range)
+        assert sorted(topology.graph.edges) == sorted(reference.edges)
+
+
+# -- Delivery batching: engine + transport + gossip ------------------------------------
+
+
+class TestBatchedDeliveryEquivalence:
+    def test_batched_calls_execute_in_scheduled_order(self):
+        engine = EventEngine(seed=0)
+        order = []
+        engine.call_at(1.0, order.append, "pre")
+        engine.call_at_batch(
+            1.0, [(order.append, ("a",)), (order.append, ("b",)), (order.append, ("c",))]
+        )
+        engine.call_at(1.0, order.append, "post")
+        engine.run()
+        assert order == ["pre", "a", "b", "c", "post"]
+        assert engine.events_processed == 5  # each batched call counted
+
+    def test_batch_cancellation_cancels_every_call(self):
+        engine = EventEngine(seed=0)
+        order = []
+        handle = engine.call_at_batch(1.0, [(order.append, ("a",)), (order.append, ("b",))])
+        handle.cancel()
+        engine.run()
+        assert order == []
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=4, max_value=16),
+    )
+    def test_broadcast_batched_equals_unbatched(self, seed, n):
+        outcomes = []
+        for batched in (False, True):
+            engine = EventEngine(seed=seed)
+            positions = random_positions(n, engine.np_rng)
+            topology = Topology(positions)
+            network = Network(
+                engine,
+                topology,
+                ChannelModel(loss_probability=0.05),
+                batch_deliveries=batched,
+            )
+            deliveries = []
+            for node in range(n):
+                network.register(
+                    node,
+                    lambda s, p, c, node=node: deliveries.append((engine.now, node, p)),
+                )
+            network.broadcast(0, "blk", 1000, "block")
+            network.send(0, n - 1, "uni", 500, "item") if n > 1 else None
+            engine.run()
+            outcomes.append(
+                (deliveries, network.snapshot(), engine.np_rng.random())
+            )
+        unbatched, batched_run = outcomes
+        assert batched_run[0] == unbatched[0]  # same deliveries, times, order
+        assert batched_run[1] == unbatched[1]  # same traffic accounting
+        assert batched_run[2] == unbatched[2]  # same RNG stream position
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=4, max_value=14),
+    )
+    def test_gossip_batched_equals_unbatched(self, seed, n):
+        outcomes = []
+        for batched in (False, True):
+            engine = EventEngine(seed=seed)
+            positions = random_positions(n, engine.np_rng)
+            topology = Topology(positions)
+            fabric = GossipFabric(
+                engine,
+                topology,
+                ChannelModel(loss_probability=0.1),
+                batch_deliveries=batched,
+            )
+            receipts = []
+            fabric.on_receive(
+                lambda node, origin, payload: receipts.append((engine.now, node))
+            )
+            message_id = fabric.originate(0, "gossip", 800, "item")
+            engine.run()
+            outcomes.append(
+                (
+                    receipts,
+                    sorted(fabric.nodes_reached(message_id)),
+                    fabric.trace.snapshot(),
+                    engine.np_rng.random(),
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+# -- PoS: exact-integer + batched lottery vs references --------------------------------
+
+
+positive_floats = st.floats(
+    min_value=1e-12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+class TestVectorisedPosEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        positive_floats,
+        st.integers(min_value=0, max_value=500),
+        positive_floats,
+    )
+    def test_mining_delay_matches_fraction_reference(
+        self, hit, stake, stored, amendment
+    ):
+        assert mining_delay(hit, stake, float(stored), amendment) == (
+            _mining_delay_reference(hit, stake, float(stored), amendment)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1), st.integers(min_value=1, max_value=30))
+    def test_batched_lottery_matches_scalar_loop(self, seed, n):
+        rng = np.random.default_rng(seed)
+        prev_hash = "ab" * 32
+        addresses = [f"addr-{seed}-{i}" for i in range(n)]
+        stakes = rng.uniform(0.0, 10.0, size=n)
+        stakes[rng.random(n) < 0.2] = 0.0  # some unmineable accounts
+        storeds = rng.integers(0, 40, size=n).astype(float)
+        amendment = float(rng.uniform(1e6, 1e14))
+        modulus = 2**64
+
+        hits = compute_hits(prev_hash, addresses, modulus)
+        assert hits == [
+            compute_hit(prev_hash, address, modulus) for address in addresses
+        ]
+        delays = mining_delays(hits, stakes, storeds, amendment)
+        assert delays == [
+            mining_delay(h, float(s), float(q), amendment)
+            for h, s, q in zip(hits, stakes, storeds)
+        ]
+        assert lottery_delays(
+            prev_hash, addresses, stakes, storeds, amendment, modulus
+        ) == list(zip(hits, delays))
+
+    def test_huge_hit_stays_exact(self):
+        # >2^53 hit: float division would be ulps off; the integer path
+        # must return the true earliest satisfying second (Eq. 9 holds at
+        # ``delay`` and fails at ``delay - 1``), matching the reference.
+        hit, stake, stored, amendment = 2**64 - 1, 3.0, 7.0, 1.25e-15
+        delay = mining_delay(hit, stake, stored, amendment)
+        assert delay == _mining_delay_reference(hit, stake, stored, amendment)
+        from fractions import Fraction
+
+        rate = Fraction(stake) * Fraction(stored) * Fraction(amendment)
+        assert Fraction(hit) <= rate * delay
+        assert delay == 1 or Fraction(hit) > rate * (delay - 1)
+
+
+# -- End to end: all fast paths on vs all fast paths off -------------------------------
+
+
+#: Three seeded scenarios: steady state, fast mobility, churn under load.
+SCENARIOS = {
+    "steady": dict(node_count=8, seed=5, duration_minutes=4.0),
+    "mobile": dict(
+        node_count=10, seed=11, duration_minutes=4.0, mobility_epoch_minutes=0.5
+    ),
+    "churn": dict(
+        node_count=12,
+        seed=3,
+        duration_minutes=4.0,
+        churn=ChurnSpec(
+            node_fraction=0.25, events_per_node=1.0, mean_downtime_seconds=30.0
+        ),
+    ),
+}
+
+
+class TestEndToEndDigestEquivalence:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_fastpath_run_is_digest_identical(self, name):
+        spec = SCENARIOS[name]
+        slow = digest_run(
+            placement_solver="greedy", batch_deliveries=False, **spec
+        )
+        fast = digest_run(
+            placement_solver="incremental", batch_deliveries=True, **spec
+        )
+        assert fast[0] == slow[0], f"{name}: chain digests diverged"
+        assert fast[1] == slow[1], f"{name}: ledger digests diverged"
+        assert fast[2] == slow[2], f"{name}: monitor verdicts diverged"

@@ -112,6 +112,46 @@ class TestLocalSearch:
         with pytest.raises(ValueError):
             solve_local_search(problem, initial=[1])
 
+    def test_empty_initial_open_set_rejected(self, trivial):
+        # Zero facilities open serves nobody: infeasible, not a crash.
+        with pytest.raises(ValueError):
+            solve_local_search(trivial, initial=[])
+
+    def test_all_equal_costs_collapse_to_single_facility(self):
+        # Fully symmetric instance: every drop ties, every swap ties.
+        # The drop loop must still collapse the bloated start down to one
+        # facility and then terminate (no improvement ping-pong on ties).
+        problem = UFLProblem(
+            facility_costs=np.full(4, 7.0),
+            connection_costs=np.full((4, 5), 3.0),
+        )
+        solution = solve_local_search(problem, initial=[0, 1, 2, 3])
+        solution.validate(problem)
+        assert len(solution.open_facilities) == 1
+        assert solution.total_cost(problem) == pytest.approx(7.0 + 5 * 3.0)
+
+    def test_single_node_problem(self):
+        # One facility, one client: nothing to add, drop, or swap.
+        problem = UFLProblem(
+            facility_costs=np.array([2.0]),
+            connection_costs=np.array([[0.5]]),
+        )
+        solution = solve_local_search(problem)
+        solution.validate(problem)
+        assert solution.open_facilities == (0,)
+        assert solution.total_cost(problem) == pytest.approx(2.5)
+
+    def test_sole_open_facility_never_dropped(self):
+        # The drop guard: even when the facility cost dominates the
+        # objective, the last open facility must stay open.
+        problem = UFLProblem(
+            facility_costs=np.array([50.0]),
+            connection_costs=np.array([[1.0, 1.0, 1.0]]),
+        )
+        solution = solve_local_search(problem)
+        solution.validate(problem)
+        assert solution.open_facilities == (0,)
+
 
 class TestMILP:
     def test_instance_size_guard(self):

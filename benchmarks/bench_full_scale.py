@@ -15,6 +15,12 @@ Two benches live here:
   merges the measured cells into ``BENCH_headline.json`` under a
   ``"scale"`` key.
 
+* :func:`test_scale_profile_headline` reruns the n=400 cell under the
+  continuous sampling profiler (DESIGN.md §14) and merges the top-10
+  self-time hot spots into ``BENCH_headline.json`` under a ``"profile"``
+  key, so perf work can be aimed at — and regressions traced to — named
+  functions rather than wall-clock deltas alone.
+
 Scenario construction is hoisted out of the timed regions: the timer
 measures ``run_experiment`` — the simulation — not spec building.
 """
@@ -24,8 +30,11 @@ from __future__ import annotations
 import time
 from dataclasses import replace
 
+import pytest
+
 from repro.core.config import PAPER_CONFIG
 from repro.metrics.report import render_table
+from repro.obs.live.profiler import SamplingProfiler, top_functions
 from repro.sim.runner import ExperimentSpec, run_experiment
 from repro.sim.scenarios import data_amount_scenario
 
@@ -129,3 +138,54 @@ def test_scale_sweep_headline(headline_sink, bench_seed):
         assert cell["storage_gini"] < 0.15, f"{key}: unfair placement"
         assert cell["failed_requests"] == 0, f"{key}: lost deliveries"
     print(headline_sink({"scale": cells}))
+
+
+@pytest.mark.profile
+def test_scale_profile_headline(headline_sink, bench_seed):
+    """Profile the largest scale cell and pin its hot spots to the record."""
+    node_count = SCALE_NODE_COUNTS[-1]
+    config = replace(
+        PAPER_CONFIG,
+        data_items_per_minute=SCALE_RATE,
+        expected_block_interval=SCALE_BLOCK_INTERVAL,
+        placement_solver="incremental",
+    )
+    spec = ExperimentSpec(
+        node_count=node_count,
+        config=config,
+        seed=bench_seed,
+        duration_minutes=SCALE_DURATION_MINUTES,
+        mobility_epoch_minutes=10.0,
+    )
+    start = time.perf_counter()
+    with SamplingProfiler(hz=199.0) as profiler:
+        result = run_experiment(spec)
+    wall_seconds = time.perf_counter() - start
+    assert result.metrics.chain_height() >= 3
+
+    folded = profiler.folded()
+    hot = top_functions(folded, n=10)
+    assert hot, "profiler captured no samples over the n=400 cell"
+    print()
+    print(
+        render_table(
+            f"Hot spots — n={node_count} cell, {profiler.samples} samples "
+            f"@ {profiler.hz:g} Hz over {wall_seconds:.1f} s",
+            ["function", "self", "self %", "total", "total %"],
+            [
+                [row["function"], row["self"], row["self_pct"],
+                 row["total"], row["total_pct"]]
+                for row in hot
+            ],
+        )
+    )
+    print(headline_sink({
+        "profile": {
+            "nodes": node_count,
+            "seed": bench_seed,
+            "hz": profiler.hz,
+            "samples": profiler.samples,
+            "wall_seconds": round(wall_seconds, 1),
+            "top_functions": hot,
+        }
+    }))

@@ -21,8 +21,14 @@ Commands:
 * ``fed run`` / ``fed resume`` / ``fed chaos`` — hierarchical federation:
   K sharded clusters bridged by fog super-peers, with durable snapshots,
   per-cluster obs artefacts, and a blast-radius chaos verdict.
-* ``trace summary`` / ``trace export`` / ``trace merge`` — inspect and
-  convert the observability artefacts a ``run --obs DIR`` leaves behind.
+* ``trace summary`` / ``trace export`` / ``trace merge`` / ``trace
+  flame`` — inspect and convert the observability artefacts a ``run
+  --obs DIR`` leaves behind (``merge --trace-out`` stitches the
+  per-process traces of a ``--procs`` run; ``flame`` renders the
+  continuous profiler's folded stacks).
+* ``top`` — terminal live view over a ``--telemetry`` stream or
+  endpoint: chain height, interval EWMA, mempool depth, quarantines,
+  msgs/sec, and the fleet rollup for federated runs.
 * ``report`` — render one observed run's timeline, events, and verdict
   as a terminal report plus a self-contained HTML page.
 * ``compare`` — diff two observed runs with threshold-based regression
@@ -109,30 +115,74 @@ def _finish_durable(outcome: PersistentRunResult, label: str) -> int:
     return 0
 
 
-def _obs_enable(args: argparse.Namespace, default_interval: float):
-    """Enable observability for a CLI command (None when --obs is absent)."""
+def _obs_enable(
+    args: argparse.Namespace,
+    default_interval: float,
+    origin: str = "n0",
+    out=None,
+):
+    """Enable observability for a CLI command (None when --obs is absent).
+
+    Also arms the live telemetry plane when asked: ``--telemetry [PORT]``
+    starts the streaming JSONL ring plus the /metrics + /snapshot
+    endpoint, and ``--profile`` starts the continuous stack sampler.
+    ``out`` redirects the diagnostics (the live ``node`` command must
+    keep stdout JSON-only).
+    """
+    telemetry = getattr(args, "telemetry", None)
+    profile = getattr(args, "profile", False)
     if not args.obs:
+        if telemetry is not None or profile:
+            raise SystemExit("error: --telemetry/--profile require --obs DIR")
         return None
+    stream = out if out is not None else sys.stdout
     interval = args.obs_sample if args.obs_sample is not None else default_interval
-    return obs.enable(timeline_interval=interval)
+    session = obs.enable(timeline_interval=interval, origin=origin)
+    if telemetry is not None:
+        session.start_stream(args.obs)
+        port = session.start_telemetry(port=telemetry)
+        print(
+            f"telemetry: http://127.0.0.1:{port}/metrics "
+            f"(streaming to {Path(args.obs) / obs.STREAM_NAME})",
+            file=stream,
+        )
+    if profile:
+        session.start_profiler(hz=getattr(args, "profile_hz", None))
+    return session
 
 
-def _obs_export(session, args: argparse.Namespace) -> None:
+def _obs_export(session, args: argparse.Namespace, out=None) -> None:
+    stream = out if out is not None else sys.stdout
+    had_profiler = session.profiler is not None
+    had_stream = session.stream is not None
     target = session.export(args.obs, timebase=args.obs_timebase)
     obs.disable()
-    print(f"wrote {target / obs.TRACE_NAME} (open in https://ui.perfetto.dev)")
-    print(f"wrote {target / obs.METRICS_NAME}")
+    print(
+        f"wrote {target / obs.TRACE_NAME} (open in https://ui.perfetto.dev)",
+        file=stream,
+    )
+    print(f"wrote {target / obs.METRICS_NAME}", file=stream)
     if session.timeline is not None:
         print(
             f"wrote {target / obs.TIMELINE_NAME} "
-            f"({len(session.timeline.samples)} samples)"
+            f"({len(session.timeline.samples)} samples)",
+            file=stream,
         )
     if session.monitors is not None:
         verdict = session.monitors.verdict()
         print(
             f"wrote {target / obs.VERDICT_NAME} "
-            f"(verdict: {verdict['status']}, {verdict['alerts']} alert(s))"
+            f"(verdict: {verdict['status']}, {verdict['alerts']} alert(s))",
+            file=stream,
         )
+    if had_profiler:
+        print(
+            f"wrote {target / obs.PROFILE_NAME} "
+            f"(render with `repro trace flame {target} --out flame.svg`)",
+            file=stream,
+        )
+    if had_stream:
+        print(f"telemetry stream: {target / obs.STREAM_NAME}", file=stream)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -374,6 +424,10 @@ def _live_spec(args: argparse.Namespace):
 
 
 def cmd_live_run(args: argparse.Namespace) -> int:
+    if args.procs:
+        # The node processes own the obs plane (one origin each); the
+        # parent only launches, scrapes, and merges their artefacts.
+        return _live_run_procs(args)
     session = _obs_enable(args, default_interval=args.block_interval)
     try:
         return _cmd_live_run_inner(args)
@@ -383,8 +437,6 @@ def cmd_live_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_live_run_inner(args: argparse.Namespace) -> int:
-    if args.procs:
-        return _live_run_procs(args)
     from repro.net.harness import run_live_experiment
 
     spec = _live_spec(args)
@@ -411,13 +463,24 @@ def _cmd_live_run_inner(args: argparse.Namespace) -> int:
 
 
 def _live_run_procs(args: argparse.Namespace) -> int:
-    """Host each node in its own subprocess on a fixed port range."""
+    """Host each node in its own subprocess on a fixed port range.
+
+    With ``--obs DIR`` each node process writes its own artefacts into
+    ``DIR/node{i}`` (origin ``n{i}``); after the run the parent stitches
+    the per-process traces into ``DIR/trace_merged.json`` and merges the
+    metrics snapshots.  ``--telemetry [BASE]`` gives node ``i`` the
+    endpoint port ``BASE+i`` and the parent scrapes node 0 mid-run.
+    """
     import subprocess
     import time as _time
 
     if args.kill is not None:
         raise SystemExit("error: --kill is not supported with --procs")
+    telemetry = getattr(args, "telemetry", None)
+    if (telemetry is not None or getattr(args, "profile", False)) and not args.obs:
+        raise SystemExit("error: --telemetry/--profile require --obs DIR")
     base_port = args.base_port or 46200
+    telemetry_base = (telemetry or 47300) if telemetry is not None else None
     start_at = _time.time() + args.start_lead
     command = [
         sys.executable, "-m", "repro", "live", "node",
@@ -431,15 +494,33 @@ def _live_run_procs(args: argparse.Namespace) -> int:
         "--base-port", str(base_port),
         "--start-at", repr(start_at),
     ]
+
+    def _node_args(node_id: int) -> List[str]:
+        extra = ["--node-id", str(node_id)]
+        if args.obs:
+            extra += ["--obs", str(Path(args.obs) / f"node{node_id}")]
+            extra += ["--obs-timebase", args.obs_timebase]
+            if args.obs_sample is not None:
+                extra += ["--obs-sample", str(args.obs_sample)]
+            if telemetry_base is not None:
+                extra += ["--telemetry", str(telemetry_base + node_id)]
+            if getattr(args, "profile", False):
+                extra.append("--profile")
+                if getattr(args, "profile_hz", None) is not None:
+                    extra += ["--profile-hz", str(args.profile_hz)]
+        return extra
+
     procs = [
         subprocess.Popen(
-            command + ["--node-id", str(node_id)],
+            command + _node_args(node_id),
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
             text=True,
         )
         for node_id in range(args.nodes)
     ]
+    if telemetry_base is not None:
+        _scrape_node_zero(args, start_at, telemetry_base)
     budget = (start_at - _time.time()) + args.minutes * 60.0 * args.time_scale + 60.0
     results = []
     failed = False
@@ -485,7 +566,64 @@ def _live_run_procs(args: argparse.Namespace) -> int:
     )
     agree = len(digests) == 1
     print(f"chain digests agree across processes: {agree}")
+    if args.obs:
+        _merge_proc_artefacts(args)
     return 0 if agree else 1
+
+
+def _scrape_node_zero(
+    args: argparse.Namespace, start_at: float, telemetry_base: int
+) -> None:
+    """One mid-run /metrics scrape against node 0 (warn, never fail)."""
+    import time as _time
+    import urllib.request
+
+    wake = start_at + min(10.0, args.minutes * 60.0 * args.time_scale / 2.0)
+    delay = wake - _time.time()
+    if delay > 0:
+        _time.sleep(delay)
+    url = f"http://127.0.0.1:{telemetry_base}/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            text = response.read().decode("utf-8")
+    except OSError as error:
+        print(f"telemetry scrape: failed ({url}: {error})", file=sys.stderr)
+        return
+    series = [
+        line for line in text.splitlines() if line and not line.startswith("#")
+    ]
+    print(f"telemetry scrape: ok ({len(series)} series from {url})")
+
+
+def _merge_proc_artefacts(args: argparse.Namespace) -> None:
+    """Stitch per-process obs output under ``--obs DIR`` into one view."""
+    root = Path(args.obs)
+    sources = [
+        path
+        for path in (root / f"node{i}" for i in range(args.nodes))
+        if (path / obs.TRACE_NAME).exists()
+    ]
+    if not sources:
+        print("no per-process obs artefacts to merge", file=sys.stderr)
+        return
+    stats = obs.merge_trace_files(sources, out=root / obs.MERGED_TRACE_NAME)
+    print(
+        f"wrote {stats['out']} ({stats['events']} events, "
+        f"{stats['traces']} traces from {len(stats['origins'])} process(es))"
+    )
+    print(f"cross-process traces: {stats['cross_process_traces']}")
+    snapshots = []
+    for path in sources:
+        metrics_file = path / obs.METRICS_NAME
+        if metrics_file.exists():
+            snapshots.append(json.loads(metrics_file.read_text(encoding="utf-8")))
+    if snapshots:
+        merged = obs.merge_snapshots(snapshots)
+        out_path = root / "metrics_merged.json"
+        with out_path.open("w", encoding="utf-8") as handle:
+            json.dump(merged, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {out_path} ({len(merged['instruments'])} instruments)")
 
 
 def cmd_live_parity(args: argparse.Namespace) -> int:
@@ -520,8 +658,20 @@ def cmd_live_node(args: argparse.Namespace) -> int:
 
     from repro.net.harness import host_single_node
 
+    # stdout is a protocol surface here — the parent parses the last line
+    # as the result JSON — so every obs diagnostic goes to stderr.
+    session = _obs_enable(
+        args,
+        default_interval=args.block_interval,
+        origin=f"n{args.node_id}",
+        out=sys.stderr,
+    )
     spec = _live_spec(args)
-    result = asyncio.run(host_single_node(spec, args.node_id, args.start_at))
+    try:
+        result = asyncio.run(host_single_node(spec, args.node_id, args.start_at))
+    finally:
+        if session is not None:
+            _obs_export(session, args, out=sys.stderr)
     print(json.dumps(result, sort_keys=True))
     return 0
 
@@ -951,7 +1101,85 @@ def cmd_trace_merge(args: argparse.Namespace) -> int:
         json.dump(merged, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {out} ({len(merged['instruments'])} instruments)")
+    if args.trace_out:
+        candidates = []
+        for source in args.sources:
+            path = Path(source)
+            trace_file = path / obs.TRACE_NAME if path.is_dir() else path
+            if trace_file.name != obs.METRICS_NAME and trace_file.exists():
+                candidates.append(trace_file)
+        if not candidates:
+            raise SystemExit(
+                "error: --trace-out found no trace.jsonl among the sources"
+            )
+        stats = obs.merge_trace_files(candidates, out=args.trace_out)
+        print(
+            f"wrote {stats['out']} ({stats['events']} events, "
+            f"{stats['traces']} traces from {len(stats['origins'])} origin(s))"
+        )
+        print(f"cross-process traces: {stats['cross_process_traces']}")
     return 0
+
+
+def cmd_trace_flame(args: argparse.Namespace) -> int:
+    source = Path(args.source)
+    if source.is_dir():
+        source = source / obs.PROFILE_NAME
+    if not source.exists():
+        raise SystemExit(
+            f"error: no folded-stacks profile at {source} "
+            "(runs write one when --profile is on)"
+        )
+    folded = obs.read_folded(source)
+    target = obs.write_flamegraph(folded, args.out, title=f"repro — {source}")
+    print(
+        f"wrote {target} ({sum(folded.values())} samples, "
+        f"{len(folded)} distinct stacks)"
+    )
+    if args.top:
+        rows = [
+            [
+                row["function"],
+                row["self"],
+                f"{row['self_pct']}%",
+                row["total"],
+                f"{row['total_pct']}%",
+            ]
+            for row in obs.top_functions(folded, args.top)
+        ]
+        print()
+        print(
+            render_table(
+                "hottest functions (by self samples)",
+                ["function", "self", "self%", "total", "total%"],
+                rows,
+            )
+        )
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    while True:
+        try:
+            view = obs.load_top_view(args.source)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        try:
+            print()
+            print(obs.render_top(view))
+        except BrokenPipeError:
+            # Piped into head/less and the reader closed; not an error.
+            sys.stderr.close()  # suppress the interpreter's epipe warning
+            return 0
+        if args.watch is None:
+            return 0
+        try:
+            _time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -996,6 +1224,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _telemetry_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--telemetry", type=int, nargs="?", const=0, default=None,
+            metavar="PORT",
+            help="with --obs: stream telemetry.jsonl and serve /metrics + "
+                 "/snapshot on this port (omit PORT for an ephemeral one)",
+        )
+        p.add_argument(
+            "--profile", action="store_true",
+            help="with --obs: continuously sample the run thread's stacks "
+                 "and export profile_folded.txt (see `repro trace flame`)",
+        )
+        p.add_argument(
+            "--profile-hz", type=float, default=None, metavar="HZ",
+            help="profiler sampling rate (default 97)",
+        )
+
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("--nodes", type=int, default=20)
     run.add_argument("--minutes", type=float, default=60.0)
@@ -1036,6 +1281,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated seconds between protocol-timeline samples "
              "(default: the expected block interval)",
     )
+    _telemetry_flags(run)
     run.set_defaults(func=cmd_run)
 
     resume = sub.add_parser("resume", help="continue a durable run after a stop/crash")
@@ -1144,6 +1390,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated seconds between protocol-timeline samples "
              "(default: the expected block interval)",
     )
+    _telemetry_flags(live_run)
     live_run.set_defaults(func=cmd_live_run)
 
     live_parity = live_sub.add_parser(
@@ -1164,6 +1411,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--start-at", type=float, required=True,
         help="shared epoch instant at which logical t=0 begins",
     )
+    live_node.add_argument(
+        "--obs", metavar="DIR",
+        help="per-process observability artefacts (origin n{node-id})",
+    )
+    live_node.add_argument(
+        "--obs-timebase", choices=["wall", "sim"], default="wall",
+    )
+    live_node.add_argument("--obs-sample", type=float, metavar="SECONDS")
+    _telemetry_flags(live_node)
     live_node.set_defaults(func=cmd_live_node)
 
     chaos = sub.add_parser(
@@ -1290,6 +1546,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-every", type=float, default=120.0, metavar="SECONDS",
         help="simulated seconds between snapshots (default 120)",
     )
+    _telemetry_flags(fed_run)
     fed_run.set_defaults(func=cmd_fed_run)
 
     fed_resume = fed_sub.add_parser(
@@ -1370,7 +1627,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     merge.add_argument("sources", nargs="+", help="obs dirs or metrics.json paths")
     merge.add_argument("--out", required=True, help="merged snapshot path")
+    merge.add_argument(
+        "--trace-out", metavar="PATH",
+        help="also stitch the sources' trace files into one multi-process "
+             "trace (cross-process traces linked by trace id)",
+    )
     merge.set_defaults(func=cmd_trace_merge)
+
+    flame = trace_sub.add_parser(
+        "flame", help="render a folded-stacks profile as a flamegraph SVG"
+    )
+    flame.add_argument("source", help="obs directory or profile_folded.txt path")
+    flame.add_argument("--out", required=True, help="output .svg path")
+    flame.add_argument(
+        "--top", type=int, default=10,
+        help="also print the N hottest functions (0 = skip)",
+    )
+    flame.set_defaults(func=cmd_trace_flame)
+
+    top = sub.add_parser(
+        "top", help="terminal live view over a telemetry stream or endpoint"
+    )
+    top.add_argument(
+        "source",
+        help="obs directory holding telemetry.jsonl, or http://host:port",
+    )
+    top.add_argument(
+        "--watch", type=float, nargs="?", const=2.0, default=None,
+        metavar="SECONDS",
+        help="refresh every SECONDS (default 2) until interrupted",
+    )
+    top.set_defaults(func=cmd_top)
 
     report = sub.add_parser(
         "report", help="render one observed run (terminal + self-contained HTML)"

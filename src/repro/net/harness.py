@@ -46,7 +46,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -650,6 +650,32 @@ class _EngineView:
         return self._harness.logical_now()
 
 
+class SingleNodeView:
+    """Obs facade over one hosted node (multi-process mode).
+
+    Duck-types the cluster surface the timeline probe reads —
+    ``config`` / ``longest_chain_node()`` / ``engine`` / ``nodes`` — so a
+    child process in a ``--procs`` cluster can run the same timeline
+    sampler and monitors as the in-process harness, scoped to its own
+    node (its local chain view *is* its best chain knowledge).
+    """
+
+    def __init__(self, live: "LiveNode"):
+        self._live = live
+        self.nodes = {live.node_id: live}
+
+    @property
+    def config(self) -> SystemConfig:
+        return self._live.spec.config
+
+    def longest_chain_node(self) -> EdgeNode:
+        return self._live.node
+
+    @property
+    def engine(self) -> Any:
+        return self._live.engine
+
+
 def run_live_experiment(spec: LiveSpec) -> LiveRunResult:
     """Synchronous front door: host the whole cluster and run it."""
     harness = LiveClusterHarness(spec)
@@ -724,6 +750,9 @@ async def host_single_node(
     await live.peers.wait_connected(
         [p for p in range(spec.node_count) if p != node_id], timeout=30.0
     )
+    if _obs.is_enabled():
+        _obs.set_sim_clock(live.engine.wall_elapsed_logical)
+        _obs.attach_runtime(SingleNodeView(live))
     if time.time() > start_at:
         # Rebasing to a past instant would replay the whole schedule
         # instantly — refuse instead of producing a garbage run.

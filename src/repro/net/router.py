@@ -46,6 +46,7 @@ from repro.core.errors import ValidationError
 from repro.net.peer import PeerManager
 from repro.net.wire import decode_message, encode_message
 from repro.obs import runtime as _obs
+from repro.obs.tracer import TraceContext
 from repro.simnet.channel import ChannelModel
 from repro.simnet.topology import UNREACHABLE, Topology
 from repro.simnet.trace import TransmissionTrace
@@ -116,7 +117,12 @@ class SocketNetwork:
         if source == target:
             raise ValueError("loopback sends are not routed")
         frame = encode_message(
-            source, payload, category, size_bytes=size_bytes, sent_at=self._now()
+            source,
+            payload,
+            category,
+            size_bytes=size_bytes,
+            sent_at=self._now(),
+            trace_ctx=self._trace_ctx(),
         )
         if not self.peers.send_frame(target, frame):
             self.messages_dropped += 1
@@ -147,7 +153,12 @@ class SocketNetwork:
         if mode not in ("tree", "flood"):
             raise ValueError(f"unknown broadcast mode: {mode}")
         frame = encode_message(
-            source, payload, category, size_bytes=size_bytes, sent_at=self._now()
+            source,
+            payload,
+            category,
+            size_bytes=size_bytes,
+            sent_at=self._now(),
+            trace_ctx=self._trace_ctx(),
         )
         reached = 0
         for peer_id in self.peers.connected_peers():
@@ -184,21 +195,36 @@ class SocketNetwork:
         handler = self._handlers.get(self.node_id)
         if handler is None:
             return
+        tc = frame.get("tc")
         if self.engine is None:
-            self._dispatch(handler, source, payload, category)
+            self._dispatch(handler, source, payload, category, tc)
             return
         _, latency = self._model(source, size_bytes)
         self.engine.call_at(
-            sent_at + latency, self._dispatch, handler, source, payload, category
+            sent_at + latency, self._dispatch, handler, source, payload, category, tc
         )
 
     def _dispatch(
-        self, handler: MessageHandler, source: int, payload: Any, category: str
+        self,
+        handler: MessageHandler,
+        source: int,
+        payload: Any,
+        category: str,
+        tc: Any = None,
     ) -> None:
-        with _obs.span("net.deliver", "net", msg=category):
+        # Continue the sender's trace when the envelope carried a context:
+        # the delivery span re-parents onto the remote span id, so a merged
+        # multi-process trace stitches the send and the receive together.
+        ctx = TraceContext.from_wire(tc) if tc is not None else None
+        with _obs.remote_span("net.deliver", "net", ctx, msg=category):
             handler(source, payload, category)
 
     # -- modelling helpers --------------------------------------------------------
+
+    def _trace_ctx(self) -> Optional[List[Any]]:
+        """Wire form of the current trace context (None when obs is off)."""
+        ctx = _obs.current_trace_context()
+        return ctx.to_wire() if ctx is not None else None
 
     def _now(self) -> float:
         return self.engine.now if self.engine is not None else 0.0

@@ -23,7 +23,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import struct
-from typing import Any, Callable, Dict, Iterable, List, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core import messages as m
 from repro.core.errors import ValidationError
@@ -223,6 +223,7 @@ def encode_message(
     size_bytes: int = 0,
     sent_at: float = 0.0,
     max_bytes: int = MAX_FRAME_BYTES,
+    trace_ctx: Optional[List[Any]] = None,
 ) -> bytes:
     """Encode one protocol message as a complete ``msg`` frame.
 
@@ -231,6 +232,13 @@ def encode_message(
     the receiver can shape delivery onto its own logical clock with the
     shared deterministic channel model (see
     :meth:`repro.net.router.SocketNetwork.deliver_frame`).
+
+    ``trace_ctx`` is the sender's wire-form observability trace context
+    (:meth:`repro.obs.tracer.TraceContext.to_wire`); present only while
+    tracing is enabled.  It rides as the optional ``"tc"`` envelope key —
+    purely advisory, never part of protocol semantics: delivery timing is
+    derived from ``t``/``size`` alone, so traced and untraced runs stay
+    digest-identical.
     """
     encoder = _ENCODERS.get(type(payload).__name__)
     if encoder is None:
@@ -245,6 +253,8 @@ def encode_message(
         "t": sent_at,
         "body": encoder(payload),
     }
+    if trace_ctx is not None:
+        frame["tc"] = trace_ctx
     return encode_frame(frame, max_bytes=max_bytes)
 
 

@@ -37,6 +37,25 @@ from repro.obs.export import (
     write_perfetto_jsonl,
     write_strict_json,
 )
+from repro.obs.live import (
+    MERGED_TRACE_NAME,
+    PROFILE_NAME,
+    STREAM_NAME,
+    SamplingProfiler,
+    TelemetryServer,
+    TelemetryStream,
+    fleet_rollup,
+    load_top_view,
+    merge_trace_files,
+    read_folded,
+    read_stream,
+    render_flamegraph_svg,
+    render_prometheus,
+    render_top,
+    top_functions,
+    write_flamegraph,
+    write_folded,
+)
 from repro.obs.metrics import (
     BUCKET_COUNT,
     MAX_EXP,
@@ -82,11 +101,13 @@ from repro.obs.runtime import (
     active_session,
     add,
     attach_runtime,
+    current_trace_context,
     disable,
     enable,
     gauge_set,
     is_enabled,
     observe,
+    remote_span,
     set_sim_clock,
     span,
     timeline_tick,
@@ -98,9 +119,29 @@ from repro.obs.timeline import (
     Timeline,
     read_timeline,
 )
-from repro.obs.tracer import NULL_SPAN, NullTracer, Span, Tracer
+from repro.obs.tracer import NULL_SPAN, NullTracer, Span, TraceContext, Tracer
 
 __all__ = [
+    "MERGED_TRACE_NAME",
+    "PROFILE_NAME",
+    "STREAM_NAME",
+    "SamplingProfiler",
+    "TelemetryServer",
+    "TelemetryStream",
+    "TraceContext",
+    "current_trace_context",
+    "fleet_rollup",
+    "load_top_view",
+    "merge_trace_files",
+    "read_folded",
+    "read_stream",
+    "remote_span",
+    "render_flamegraph_svg",
+    "render_prometheus",
+    "render_top",
+    "top_functions",
+    "write_flamegraph",
+    "write_folded",
     "read_trace_events",
     "span_to_event",
     "summarize_events",

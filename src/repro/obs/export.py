@@ -60,6 +60,11 @@ def span_to_event(span: Span, timebase: str = "wall") -> Dict[str, Any]:
     if span.sim_start is not None:
         args["sim_start_s"] = span.sim_start
         args["sim_dur_s"] = span.sim_duration
+    if span.trace_id is not None:
+        args["trace_id"] = span.trace_id
+    if span.remote_parent is not None:
+        args["remote_parent"] = span.remote_parent
+        args["remote_origin"] = span.remote_origin
     args.update(span.attrs)
     return {
         "name": span.name,
@@ -74,9 +79,16 @@ def span_to_event(span: Span, timebase: str = "wall") -> Dict[str, Any]:
 
 
 def write_perfetto_jsonl(
-    spans: Iterable[Span], path: PathLike, timebase: str = "wall"
+    spans: Iterable[Span], path: PathLike, timebase: str = "wall",
+    origin: str = "",
 ) -> Path:
-    """Write spans as a Perfetto-loadable, line-oriented trace file."""
+    """Write spans as a Perfetto-loadable, line-oriented trace file.
+
+    ``origin`` (the tracer's process identity) is recorded as a
+    ``trace_origin`` metadata event so ``repro trace merge`` can assign
+    per-process tracks — and tell processes apart — when stitching
+    multi-process runs back together.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     with target.open("w", encoding="utf-8") as handle:
@@ -89,6 +101,15 @@ def write_perfetto_jsonl(
             "args": {"name": f"repro simulation ({timebase} time)"},
         }
         handle.write(json.dumps(metadata, sort_keys=True) + ",\n")
+        if origin:
+            origin_meta = {
+                "name": "trace_origin",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": TRACE_TID,
+                "args": {"origin": origin},
+            }
+            handle.write(json.dumps(origin_meta, sort_keys=True) + ",\n")
         for span in spans:
             event = span_to_event(span, timebase=timebase)
             handle.write(json.dumps(event, sort_keys=True) + ",\n")

@@ -1,0 +1,126 @@
+"""Stitch per-process trace files into one multi-process trace.
+
+Each process of a ``repro live run --procs`` cluster exports its own
+``trace.jsonl`` with a distinct tracer origin (``n0``, ``n1``, …) baked
+into every trace id, plus a ``trace_origin`` metadata event naming the
+process.  Merging is therefore pure bookkeeping:
+
+* every origin becomes one Perfetto ``pid`` (with a ``process_name``
+  metadata event), so the merged file renders as N process tracks;
+* span ids stay process-local — cross-process edges are expressed by the
+  receiver span's ``remote_parent``/``remote_origin`` args, written when
+  the router re-parented a delivery off the wire trace-context;
+* a trace that appears under two or more origins is a **cross-process
+  trace**: one causal gossip→admission→commit path that hopped a socket.
+
+The stats dict returned by :func:`merge_trace_files` is what the CLI
+prints and what the CI telemetry smoke job asserts on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.export import read_trace_events
+
+PathLike = Union[str, Path]
+
+MERGED_TRACE_NAME = "trace_merged.json"
+
+
+def _file_origin(events: Sequence[Dict[str, Any]], fallback: str) -> str:
+    """The ``trace_origin`` metadata value, or ``fallback``."""
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "trace_origin":
+            origin = event.get("args", {}).get("origin")
+            if isinstance(origin, str) and origin:
+                return origin
+    return fallback
+
+
+def merge_trace_events(
+    per_file: Sequence[Tuple[str, List[Dict[str, Any]]]],
+) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+    """Merge ``(origin, events)`` pairs into one event list plus stats.
+
+    Origins map to Perfetto pids in sorted order (pid 1, 2, …); every
+    complete event keeps its span ids but gains an ``origin`` arg so
+    cross-process parentage stays resolvable after the merge.
+    """
+    origins = sorted({origin for origin, _ in per_file})
+    pid_of = {origin: index + 1 for index, origin in enumerate(origins)}
+    merged: List[Dict[str, Any]] = []
+    for origin in origins:
+        merged.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid_of[origin],
+                "tid": 1,
+                "args": {"name": f"repro node {origin}"},
+            }
+        )
+    traces: Dict[str, set] = {}
+    linked = 0
+    for origin, events in per_file:
+        for event in events:
+            if event.get("ph") != "X":
+                continue
+            out = dict(event)
+            out["pid"] = pid_of[origin]
+            args = dict(out.get("args", {}))
+            args["origin"] = origin
+            out["args"] = args
+            merged.append(out)
+            trace_id = args.get("trace_id")
+            if isinstance(trace_id, str):
+                traces.setdefault(trace_id, set()).add(origin)
+            if args.get("remote_parent") is not None:
+                linked += 1
+    cross = {
+        trace_id: sorted(members)
+        for trace_id, members in traces.items()
+        if len(members) > 1
+    }
+    stats = {
+        "files": len(per_file),
+        "origins": origins,
+        "events": sum(1 for e in merged if e.get("ph") == "X"),
+        "traces": len(traces),
+        "cross_process_traces": len(cross),
+        "remote_linked_spans": linked,
+    }
+    return merged, stats
+
+
+def merge_trace_files(
+    sources: Iterable[PathLike], out: Optional[PathLike] = None
+) -> Dict[str, Any]:
+    """Merge per-process trace files; optionally write the merged trace.
+
+    ``sources`` are trace files (or obs directories containing
+    ``trace.jsonl``).  Returns the stats dict from
+    :func:`merge_trace_events`, with ``"out"`` added when written.
+    """
+    from repro.obs.export import write_strict_json
+    from repro.obs.runtime import TRACE_NAME
+
+    per_file: List[Tuple[str, List[Dict[str, Any]]]] = []
+    for index, source in enumerate(sources):
+        path = Path(source)
+        if path.is_dir():
+            path = path / TRACE_NAME
+        events = read_trace_events(path)
+        per_file.append((_file_origin(events, f"p{index}"), events))
+    merged, stats = merge_trace_events(per_file)
+    if out is not None:
+        target = write_strict_json(merged, out)
+        stats["out"] = str(target)
+    return stats
+
+
+def read_merged_trace(path: PathLike) -> List[Dict[str, Any]]:
+    """Load a merged trace written by :func:`merge_trace_files`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

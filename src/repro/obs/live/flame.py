@@ -1,0 +1,128 @@
+"""Dependency-free flamegraph SVG over folded stacks.
+
+``repro trace flame`` turns the profiler's folded-stack output into a
+single self-contained SVG: one rectangle per (stack-prefix, function),
+width proportional to inclusive sample count, root at the bottom.
+Colours are a deterministic hash of the function name, so the same
+function is the same colour across graphs and regenerating a graph is
+byte-stable — diffs in the artefact mean diffs in the profile.
+
+No JavaScript, no external assets: every rectangle carries a
+``<title>`` tooltip (function, samples, percentage), which is enough to
+navigate a graph in any browser or embedded in the HTML report.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+PathLike = Union[str, Path]
+
+FLAME_NAME = "flame.svg"
+
+_ROW_HEIGHT = 17
+_MIN_WIDTH_PX = 0.4  # rectangles narrower than this are dropped
+_FONT_PX = 11
+
+
+def _colour(name: str) -> str:
+    """Deterministic warm colour for a frame name."""
+    digest = 0
+    for ch in name:
+        digest = (digest * 131 + ord(ch)) % 360
+    red = 205 + digest % 50
+    green = 80 + (digest * 7) % 110
+    blue = 30 + (digest * 13) % 40
+    return f"rgb({red},{green},{blue})"
+
+
+class _Node:
+    __slots__ = ("count", "children")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.children: Dict[str, "_Node"] = {}
+
+
+def _build_trie(folded: Dict[str, int]) -> _Node:
+    root = _Node()
+    for stack, count in folded.items():
+        root.count += count
+        node = root
+        for frame in stack.split(";"):
+            node = node.children.setdefault(frame, _Node())
+            node.count += count
+    return root
+
+
+def _depth(node: _Node) -> int:
+    if not node.children:
+        return 0
+    return 1 + max(_depth(child) for child in node.children.values())
+
+
+def render_flamegraph_svg(
+    folded: Dict[str, int], title: str = "repro flamegraph", width: int = 1200
+) -> str:
+    """Render folded stacks as a complete SVG document."""
+    root = _build_trie(folded)
+    total = root.count
+    rows = _depth(root)
+    height = (rows + 2) * _ROW_HEIGHT + 24
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="{_FONT_PX}">',
+        f'<rect width="{width}" height="{height}" fill="#fdfdfd"/>',
+        f'<text x="{width // 2}" y="16" text-anchor="middle" '
+        f'font-weight="bold">{html.escape(title)} '
+        f"({total} samples)</text>",
+    ]
+    if total == 0:
+        parts.append(
+            f'<text x="{width // 2}" y="{height // 2}" text-anchor="middle">'
+            "no samples</text>"
+        )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    scale = width / total
+
+    def emit(node: _Node, x: float, depth: int) -> None:
+        # Children sorted by name: deterministic layout.
+        for name, child in sorted(node.children.items()):
+            w = child.count * scale
+            if w >= _MIN_WIDTH_PX:
+                y = height - (depth + 1) * _ROW_HEIGHT - 4
+                pct = 100.0 * child.count / total
+                label = html.escape(name)
+                parts.append(
+                    f'<g><title>{label} — {child.count} samples '
+                    f"({pct:.1f}%)</title>"
+                    f'<rect x="{x:.2f}" y="{y}" width="{max(w - 0.3, 0.1):.2f}" '
+                    f'height="{_ROW_HEIGHT - 1}" fill="{_colour(name)}" '
+                    f'rx="1"/>'
+                )
+                if w > 40:
+                    shown = name if w > 7 * len(name) else name[: int(w / 7)] + "…"
+                    parts.append(
+                        f'<text x="{x + 3:.2f}" y="{y + _ROW_HEIGHT - 5}">'
+                        f"{html.escape(shown)}</text>"
+                    )
+                parts.append("</g>")
+                emit(child, x, depth + 1)
+            x += w
+
+    emit(root, 0.0, 0)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_flamegraph(
+    folded: Dict[str, int], path: PathLike, title: str = "repro flamegraph"
+) -> Path:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_flamegraph_svg(folded, title=title), encoding="utf-8")
+    return target

@@ -1,0 +1,97 @@
+"""Fleet rollup: fold ``c{k}_`` per-cluster telemetry into one summary.
+
+A federated timeline sample is flat but namespaced — every cluster
+contributes ``c{k}_height``, ``c{k}_mempool_depth``, … alongside the
+fog-tier ``fed_*`` fields.  The fleet operator's questions are about the
+*distribution*: is any cluster stalled, how deep is the worst mempool,
+how much admission pressure is the fleet absorbing.  :func:`fleet_rollup`
+answers them from a single sample, and both ``repro top`` and
+``repro report`` render the result.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+_CLUSTER_FIELD = re.compile(r"^c(\d+)_(.+)$")
+
+
+def _cluster_series(sample: Dict[str, Any]) -> Dict[str, Dict[int, Any]]:
+    """``{field: {cluster_id: value}}`` from one federated sample."""
+    series: Dict[str, Dict[int, Any]] = {}
+    for key, value in sample.items():
+        match = _CLUSTER_FIELD.match(key)
+        if match is None:
+            continue
+        series.setdefault(match.group(2), {})[int(match.group(1))] = value
+    return series
+
+
+def _finite(values: Dict[int, Any]) -> Dict[int, float]:
+    return {
+        cluster: float(v)
+        for cluster, v in values.items()
+        if isinstance(v, (int, float)) and v == v
+    }
+
+
+def fleet_rollup(sample: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Aggregate one federated sample; None for single-cluster samples.
+
+    Min/max aggregates carry the cluster id they came from, so "height
+    min 4" reads as "cluster 2 is at height 4" without a second lookup.
+    """
+    series = _cluster_series(sample)
+    if not series:
+        return None
+
+    def spread(field: str) -> Optional[Dict[str, Any]]:
+        values = _finite(series.get(field, {}))
+        if not values:
+            return None
+        low = min(values, key=lambda c: (values[c], c))
+        high = max(values, key=lambda c: (values[c], -c))
+        return {
+            "min": values[low],
+            "min_cluster": low,
+            "max": values[high],
+            "max_cluster": high,
+            "mean": round(sum(values.values()) / len(values), 4),
+        }
+
+    def total(field: str) -> Optional[float]:
+        values = _finite(series.get(field, {}))
+        if not values:
+            return None
+        result = sum(values.values())
+        return int(result) if result == int(result) else result
+
+    clusters: List[int] = sorted(
+        {cluster for values in series.values() for cluster in values}
+    )
+    rollup: Dict[str, Any] = {
+        "t": sample.get("t"),
+        "clusters": len(clusters),
+        "cluster_ids": clusters,
+        "height": spread("height"),
+        "interval_ratio": spread("interval_ratio"),
+        "storage_gini": spread("storage_gini"),
+        "coverage_recent": spread("coverage_recent"),
+        "mempool_depth": spread("mempool_depth"),
+        "mempool_total": total("mempool_depth"),
+        "saturated_nodes_total": total("saturated_nodes"),
+        "chaos_rejections_total": total("chaos_rejections"),
+        "chaos_quarantined_total": total("chaos_quarantined"),
+    }
+    for key in (
+        "fed_directory_staleness",
+        "fed_lookups_ok",
+        "fed_lookup_failures",
+        "fed_migrations",
+        "fed_gossip_rounds",
+        "queue_depth",
+    ):
+        if key in sample:
+            rollup[key] = sample[key]
+    return rollup

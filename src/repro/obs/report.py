@@ -21,8 +21,11 @@ import math
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+import json
+
 from repro.metrics.ascii_plot import sparkline
 from repro.metrics.report import render_table
+from repro.obs.live.rollup import fleet_rollup
 from repro.obs.metrics import summarize
 from repro.obs.monitors import (
     EVENTS_NAME,
@@ -48,7 +51,21 @@ SERIES = [
     ("stake_topk_share", "top-k stake share"),
     ("coverage_recent", "recent-block coverage"),
     ("queue_depth", "engine queue depth"),
+    ("mempool_depth", "mempool depth (max node)"),
 ]
+
+#: Name of the counter carrying the tracer's dropped-span total.
+SPANS_DROPPED_COUNTER = "obs.spans_dropped"
+
+
+def _spans_dropped(metrics: Optional[Dict[str, Any]]) -> int:
+    """Dropped-span total from a loaded metrics snapshot (0 when absent)."""
+    if not metrics:
+        return 0
+    instrument = metrics.get("instruments", {}).get(SPANS_DROPPED_COUNTER)
+    if not instrument or instrument.get("type") != "counter":
+        return 0
+    return int(instrument.get("value", 0))
 
 
 def _series_values(
@@ -84,12 +101,17 @@ def load_run(directory: PathLike) -> Dict[str, Any]:
         if (base / VERDICT_NAME).exists()
         else None
     )
+    metrics = None
+    metrics_path = base / "metrics.json"
+    if metrics_path.exists():
+        metrics = json.loads(metrics_path.read_text(encoding="utf-8"))
     return {
         "directory": base,
         "header": header,
         "samples": samples,
         "events": events,
         "verdict": verdict,
+        "metrics": metrics,
     }
 
 
@@ -102,6 +124,14 @@ def render_terminal_report(run: Dict[str, Any]) -> str:
     verdict = run["verdict"]
     events = run["events"]
     sections: List[str] = [f"run: {run['directory']}"]
+
+    dropped = _spans_dropped(run.get("metrics"))
+    if dropped:
+        sections.append(
+            f"WARNING: {dropped} span(s) dropped at the tracer's max_spans "
+            "cap — the exported trace is truncated; raise max_spans or "
+            "shorten the window"
+        )
 
     if verdict is not None:
         sections.append(
@@ -174,6 +204,35 @@ def render_terminal_report(run: Dict[str, Any]) -> str:
                 stat_rows,
             )
         )
+        rollup = fleet_rollup(samples[-1])
+        if rollup is not None:
+            fleet_rows = []
+            for key in ("height", "interval_ratio", "storage_gini",
+                        "coverage_recent", "mempool_depth"):
+                spread = rollup.get(key)
+                if spread is None:
+                    continue
+                fleet_rows.append(
+                    [
+                        key,
+                        f"{spread['min']:.4g} (c{spread['min_cluster']})",
+                        f"{spread['mean']:.4g}",
+                        f"{spread['max']:.4g} (c{spread['max_cluster']})",
+                    ]
+                )
+            for key in ("mempool_total", "chaos_rejections_total",
+                        "chaos_quarantined_total", "fed_lookup_failures"):
+                if rollup.get(key) is not None:
+                    fleet_rows.append([key, "", "", f"{rollup[key]:g}"])
+            if fleet_rows:
+                sections.append(
+                    render_table(
+                        f"fleet rollup ({rollup['clusters']} clusters, "
+                        "final sample)",
+                        ["field", "min", "mean", "max/total"],
+                        fleet_rows,
+                    )
+                )
     else:
         sections.append("timeline: no samples recorded")
 
@@ -266,6 +325,14 @@ def render_html_report(run: Dict[str, Any]) -> str:
         f"<h1>repro report</h1><p><code>{html.escape(str(run['directory']))}"
         "</code></p>",
     ]
+
+    dropped = _spans_dropped(run.get("metrics"))
+    if dropped:
+        parts.append(
+            f'<p style="color:#c62828"><strong>Warning:</strong> {dropped} '
+            "span(s) dropped at the tracer's max_spans cap — the exported "
+            "trace is truncated.</p>"
+        )
 
     if verdict is not None:
         colour = _SEVERITY_COLOURS.get(verdict["status"], "#555")

@@ -30,7 +30,13 @@ from repro.obs.export import write_perfetto_jsonl
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitors import EVENTS_NAME, VERDICT_NAME, MonitorSuite
 from repro.obs.timeline import TIMELINE_NAME, Timeline
-from repro.obs.tracer import NullTracer, Tracer, _NullSpanHandle, _SpanHandle
+from repro.obs.tracer import (
+    NullTracer,
+    TraceContext,
+    Tracer,
+    _NullSpanHandle,
+    _SpanHandle,
+)
 
 PathLike = Union[str, Path]
 
@@ -40,7 +46,13 @@ METRICS_NAME = "metrics.json"
 
 class ObsSession:
     """One enabled observability window: tracer, registry, and (optionally)
-    a protocol timeline with its health monitors."""
+    a protocol timeline with its health monitors.
+
+    The live-telemetry extensions (streaming ring, exposition endpoint,
+    sampling profiler — DESIGN.md §14) are armed per-session via
+    :meth:`start_stream` / :meth:`start_telemetry` / :meth:`start_profiler`
+    and torn down by :meth:`export`.
+    """
 
     enabled = True
 
@@ -49,8 +61,11 @@ class ObsSession:
         sim_clock: Optional[Callable[[], float]] = None,
         max_spans: int = 2_000_000,
         timeline_interval: Optional[float] = None,
+        origin: str = "n0",
     ):
-        self.tracer = Tracer(sim_clock=sim_clock, max_spans=max_spans)
+        self.tracer = Tracer(
+            sim_clock=sim_clock, max_spans=max_spans, origin=origin
+        )
         self.metrics = MetricsRegistry()
         self.timeline: Optional[Timeline] = (
             Timeline(timeline_interval, registry=self.metrics)
@@ -58,6 +73,41 @@ class ObsSession:
             else None
         )
         self.monitors: Optional[MonitorSuite] = None
+        self.stream: Optional[Any] = None
+        self.server: Optional[Any] = None
+        self.profiler: Optional[Any] = None
+
+    # -- live telemetry plane --------------------------------------------------------
+
+    def start_stream(self, directory: PathLike, max_bytes: Optional[int] = None):
+        """Arm the streaming JSONL ring; flushed on every timeline tick."""
+        from repro.obs.live.stream import DEFAULT_MAX_BYTES, TelemetryStream
+
+        self.stream = TelemetryStream(
+            directory,
+            node=self.tracer.origin,
+            max_bytes=max_bytes if max_bytes is not None else DEFAULT_MAX_BYTES,
+        )
+        return self.stream
+
+    def start_telemetry(self, port: int = 0, host: str = "127.0.0.1") -> int:
+        """Serve ``/metrics`` + ``/snapshot``; returns the bound port."""
+        from repro.obs.live.expo import TelemetryServer
+
+        self.server = TelemetryServer(self, port=port, host=host)
+        return self.server.start()
+
+    def start_profiler(
+        self, hz: Optional[float] = None, thread_id: Optional[int] = None
+    ):
+        """Start the background stack sampler on the calling thread."""
+        from repro.obs.live.profiler import DEFAULT_HZ, SamplingProfiler
+
+        self.profiler = SamplingProfiler(
+            hz=hz if hz is not None else DEFAULT_HZ, thread_id=thread_id
+        )
+        self.profiler.start()
+        return self.profiler
 
     def attach_runtime(self, runtime: Any) -> None:
         """Point the timeline probe (and monitors) at a live runtime.
@@ -80,12 +130,30 @@ class ObsSession:
 
     def export(self, directory: PathLike, timebase: str = "wall") -> "Path":
         """Write ``trace.jsonl`` + ``metrics.json`` (and, when the timeline
-        is on, ``timeline.jsonl`` + ``events.jsonl`` + ``verdict.json``)
-        into ``directory``."""
+        is on, ``timeline.jsonl`` + ``events.jsonl`` + ``verdict.json``;
+        when the profiler ran, ``profile_folded.txt``) into ``directory``.
+
+        Also tears the live plane down: the exposition server stops, the
+        profiler stops, and the streaming ring is closed.
+        """
         target = Path(directory)
         target.mkdir(parents=True, exist_ok=True)
+        if self.server is not None:
+            self.server.stop()
+            self.server = None
+        if self.profiler is not None:
+            self.profiler.stop()
+        # Dropped spans were silently swallowed before; surface them as a
+        # counter so reports and scrapes can warn about trace truncation.
+        dropped = self.tracer.dropped_spans
+        if dropped:
+            counter = self.metrics.counter("obs.spans_dropped")
+            counter.inc(dropped - counter.value)
         write_perfetto_jsonl(
-            self.tracer.finished, target / TRACE_NAME, timebase=timebase
+            self.tracer.finished,
+            target / TRACE_NAME,
+            timebase=timebase,
+            origin=self.tracer.origin,
         )
         self.metrics.write_json(target / METRICS_NAME)
         if self.timeline is not None:
@@ -93,6 +161,14 @@ class ObsSession:
         if self.monitors is not None:
             self.monitors.write_events(target / EVENTS_NAME)
             self.monitors.write_verdict(target / VERDICT_NAME)
+        if self.profiler is not None:
+            from repro.obs.live.profiler import PROFILE_NAME
+
+            self.profiler.write_folded(target / PROFILE_NAME)
+            self.profiler = None
+        if self.stream is not None:
+            self.stream.close()
+            self.stream = None
         return target
 
 
@@ -104,6 +180,9 @@ class _Disabled:
     metrics = MetricsRegistry()  # writes here are unreachable via helpers
     timeline = None
     monitors = None
+    stream = None
+    server = None
+    profiler = None
 
 
 _DISABLED = _Disabled()
@@ -117,19 +196,22 @@ def enable(
     sim_clock: Optional[Callable[[], float]] = None,
     max_spans: int = 2_000_000,
     timeline_interval: Optional[float] = None,
+    origin: str = "n0",
 ) -> ObsSession:
     """Turn observability on; returns the live session.
 
     ``timeline_interval`` (simulated seconds) additionally arms the
     protocol timeline sampler and its health monitors; they start
     producing data once a runtime attaches (``build_runtime`` and
-    ``resume_run`` do this automatically).
+    ``resume_run`` do this automatically).  ``origin`` is the process
+    identity baked into trace ids (``n{id}`` for live node processes).
     """
     global _state
     session = ObsSession(
         sim_clock=sim_clock,
         max_spans=max_spans,
         timeline_interval=timeline_interval,
+        origin=origin,
     )
     _state = session
     return session
@@ -174,8 +256,14 @@ def timeline_tick(now: float) -> None:
     if timeline is None:
         return
     sample = timeline.maybe_sample(now)
-    if sample is not None and state.monitors is not None:
+    if sample is None:
+        return
+    if state.monitors is not None:
         state.monitors.observe(sample)
+    # The streaming ring rides the timeline cadence: one flush per new
+    # sample, so streaming inherits the tick's digest-neutrality.
+    if state.stream is not None:
+        state.stream.on_sample(sample, state.metrics, state.monitors)
 
 
 # -- hot-path hooks -------------------------------------------------------------------
@@ -186,6 +274,28 @@ def span(
 ) -> Union[_SpanHandle, _NullSpanHandle]:
     """Open a span on the live tracer (no-op context manager when off)."""
     return _state.tracer.span(name, category, **attrs)
+
+
+def current_trace_context() -> Optional[TraceContext]:
+    """Wire-ready context of the innermost open span (None when off/idle).
+
+    This is what the net layer serialises into the ``"tc"`` envelope
+    field — see :meth:`repro.net.router.SocketNetwork.send`.
+    """
+    if not _state.enabled:
+        return None
+    return _state.tracer.current_context()
+
+
+def remote_span(
+    name: str, category: str = "", ctx: Optional[TraceContext] = None, **attrs: Any
+) -> Union[_SpanHandle, _NullSpanHandle]:
+    """Open a span continuing a received trace context (plain span when
+    ``ctx`` is None; no-op when observability is off)."""
+    tracer = _state.tracer
+    if ctx is None:
+        return tracer.span(name, category, **attrs)
+    return tracer.remote_span(name, category, ctx, **attrs)
 
 
 def add(name: str, amount: int = 1) -> None:

@@ -147,6 +147,17 @@ class RuntimeProbe:
             quarantined += len(admission.quarantined)
         return {"chaos_rejections": rejections, "chaos_quarantined": quarantined}
 
+    def _mempool_depth(self) -> Optional[int]:
+        """Deepest per-node mempool (both fabrics; None when unknown)."""
+        nodes = getattr(self._cluster, "nodes", None)
+        if nodes is None:
+            return None
+        members = nodes.values() if isinstance(nodes, dict) else nodes
+        depths = [
+            len(getattr(member, "node", member).mempool) for member in members
+        ]
+        return max(depths) if depths else None
+
     def _recent_coverage(self, chain: Any) -> float:
         """Average holder fraction over the newest ``COVERAGE_WINDOW`` blocks.
 
@@ -198,6 +209,7 @@ class RuntimeProbe:
             "stake_topk_share": self._stake_top_share(state),
             "coverage_recent": self._recent_coverage(chain),
             "queue_depth": cluster.engine.queue_depth,
+            "mempool_depth": self._mempool_depth(),
             **self._chaos_fields(),
         }
 
@@ -242,9 +254,6 @@ class FederationProbe:
                 if key in self._GLOBAL_KEYS:
                     continue
                 out[prefix + key] = value
-            out[prefix + "mempool_depth"] = max(
-                len(node.mempool) for node in domain.cluster.nodes.values()
-            )
         return out
 
 

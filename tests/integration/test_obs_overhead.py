@@ -12,10 +12,14 @@ Two guarantees, both load-bearing:
    raft, and persist.
 """
 
+import urllib.request
+
 import pytest
 
 from repro.obs import runtime as obs
 from repro.obs.export import read_trace_events
+from repro.obs.live.profiler import PROFILE_NAME
+from repro.obs.live.stream import read_stream
 from repro.obs.runtime import METRICS_NAME, TRACE_NAME
 from repro.persist.resume import PersistConfig, run_persistent
 from repro.sim.runner import ExperimentSpec, run_experiment
@@ -73,6 +77,36 @@ class TestOverheadGuard:
         assert session.monitors is not None
         verdict = session.monitors.verdict()
         assert verdict["status"] in ("healthy", "warning", "critical")
+
+    def test_digests_identical_with_full_telemetry_plane_on(self, tmp_path):
+        """PR-8 live plane: streaming ring + Prometheus endpoint + sampling
+        profiler all armed, digests still bit-identical to the dark run."""
+        baseline = run_digests()
+        session = obs.enable(timeline_interval=10.0)
+        session.start_stream(tmp_path)
+        port = session.start_telemetry()
+        session.start_profiler(hz=199.0)
+        traced = run_digests()
+        # Scrape mid-flight state before export tears the server down.
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=10
+        ) as response:
+            exposition = response.read().decode("utf-8")
+        profiler = session.profiler  # export() nulls the handle
+        session.export(tmp_path / "out")
+        obs.disable()
+        dark_again = run_digests()
+
+        assert traced == baseline
+        assert dark_again == baseline
+        # Each leg of the plane demonstrably ran — no vacuous pass.
+        assert "repro_engine_events" in exposition
+        stream_samples = [
+            r for r in read_stream(tmp_path) if r["kind"] == "sample"
+        ]
+        assert len(stream_samples) > 10
+        assert profiler.samples > 0
+        assert (tmp_path / "out" / PROFILE_NAME).exists()
 
     def test_repeated_enable_disable_cycles_stay_deterministic(self):
         baseline = run_digests()

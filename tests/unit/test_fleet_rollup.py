@@ -1,0 +1,149 @@
+"""Fleet rollup over federated ``c{k}_`` samples and the `repro top` view."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.obs.live.expo import TelemetryServer
+from repro.obs.live.rollup import fleet_rollup
+from repro.obs.live.stream import TelemetryStream
+from repro.obs.live.top import load_top_view, render_top
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitors import MonitorEvent
+from repro.obs.runtime import ObsSession
+
+pytestmark = pytest.mark.obs
+
+
+FED_SAMPLE = {
+    "t": 300.0,
+    "queue_depth": 4,
+    "fed_directory_staleness": 1.5,
+    "fed_lookups_ok": 12,
+    "c0_height": 10,
+    "c0_mempool_depth": 2,
+    "c0_saturated_nodes": 1,
+    "c1_height": 7,
+    "c1_mempool_depth": 5,
+    "c1_saturated_nodes": 0,
+    "c2_height": 12,
+    "c2_mempool_depth": float("nan"),  # cluster mid-warmup
+    "c2_saturated_nodes": 2,
+}
+
+
+class TestFleetRollup:
+    def test_non_federated_sample_rolls_up_to_none(self):
+        assert fleet_rollup({"t": 20.0, "height": 3, "mempool_depth": 1}) is None
+        assert fleet_rollup({}) is None
+
+    def test_spread_carries_the_cluster_attribution(self):
+        rollup = fleet_rollup(FED_SAMPLE)
+        assert rollup is not None
+        assert rollup["clusters"] == 3
+        assert rollup["cluster_ids"] == [0, 1, 2]
+        height = rollup["height"]
+        assert height == {
+            "min": 7.0,
+            "min_cluster": 1,
+            "max": 12.0,
+            "max_cluster": 2,
+            "mean": pytest.approx(29 / 3, abs=1e-4),
+        }
+
+    def test_totals_sum_finite_values_only(self):
+        rollup = fleet_rollup(FED_SAMPLE)
+        # c2's NaN mempool is excluded rather than poisoning the total.
+        assert rollup["mempool_total"] == 7
+        assert rollup["mempool_depth"]["max_cluster"] == 1
+        assert rollup["saturated_nodes_total"] == 3
+        assert rollup["chaos_rejections_total"] is None
+
+    def test_fog_tier_fields_pass_through(self):
+        rollup = fleet_rollup(FED_SAMPLE)
+        assert rollup["fed_directory_staleness"] == 1.5
+        assert rollup["fed_lookups_ok"] == 12
+        assert rollup["queue_depth"] == 4
+
+
+def write_stream(directory, samples, registry=None, monitors=None):
+    stream = TelemetryStream(directory, node="n0")
+    for sample in samples:
+        stream.on_sample(sample, metrics=registry, monitors=monitors)
+    stream.close()
+
+
+class TestTopView:
+    def _stream_dir(self, tmp_path):
+        registry = MetricsRegistry()
+
+        class Monitors:
+            events = [
+                MonitorEvent(time=40.0, monitor="chain-stall",
+                             severity="warning", message="stalled")
+            ]
+
+        registry.counter("net.messages_sent").inc(10)
+        stream = TelemetryStream(tmp_path, node="n0")
+        stream.on_sample({"t": 20.0, "height": 1, "queue_depth": 0},
+                         metrics=registry, monitors=Monitors())
+        registry.counter("net.messages_sent").inc(30)
+        stream.on_sample({"t": 40.0, "height": 2, "queue_depth": 1},
+                         metrics=registry, monitors=Monitors())
+        stream.close()
+        return tmp_path
+
+    def test_view_from_stream_directory(self, tmp_path):
+        view = load_top_view(str(self._stream_dir(tmp_path)))
+        assert view["node"] == "n0"
+        assert view["sample"]["height"] == 2
+        assert view["counters"]["net.messages_sent"] == 40
+        # 30 new messages over 20 logical seconds.
+        assert view["msgs_per_sec"] == pytest.approx(1.5)
+        assert [e["monitor"] for e in view["events"]] == ["chain-stall"]
+
+    def test_view_from_stream_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_top_view(str(tmp_path))
+
+    def test_view_from_snapshot_url(self, tmp_path):
+        session = ObsSession(timeline_interval=20.0, origin="n3")
+        session.metrics.counter("net.messages_sent").inc(8)
+        session.timeline.samples.append({"t": 60.0, "height": 3})
+        server = TelemetryServer(session, port=0)
+        port = server.start()
+        try:
+            view = load_top_view(f"http://127.0.0.1:{port}")
+            assert view["node"] == "n3"
+            assert view["sample"]["height"] == 3
+            assert view["counters"]["net.messages_sent"] == 8
+        finally:
+            server.stop()
+
+    def test_render_top_single_node(self, tmp_path):
+        rendered = render_top(load_top_view(str(self._stream_dir(tmp_path))))
+        assert "repro top" in rendered
+        assert "chain height" in rendered
+        assert "msgs/sec" in rendered
+        assert "chain-stall" in rendered
+        # Non-federated view renders no fleet section.
+        assert "fleet (" not in rendered
+
+    def test_render_top_federated_fleet_section(self, tmp_path):
+        write_stream(tmp_path, [FED_SAMPLE])
+        rendered = render_top(load_top_view(str(tmp_path)))
+        assert "fleet (3 clusters)" in rendered
+        assert "mempool_total" in rendered
+        assert "(c1)" in rendered  # min/max cluster attribution visible
+
+    def test_top_cli_renders_once(self, tmp_path, capsys):
+        self._stream_dir(tmp_path)
+        assert main(["top", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "chain height" in out
+
+    def test_top_cli_missing_source_fails(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path)]) == 2

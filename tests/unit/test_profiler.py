@@ -1,0 +1,133 @@
+"""Continuous sampling profiler and the flamegraph renderer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.live.flame import render_flamegraph_svg, write_flamegraph
+from repro.obs.live.profiler import (
+    MAX_DEPTH,
+    SamplingProfiler,
+    read_folded,
+    top_functions,
+    write_folded,
+)
+
+pytestmark = [pytest.mark.obs, pytest.mark.profile]
+
+
+def _busy_loop(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(i * i for i in range(500))
+
+
+class TestSamplingProfiler:
+    def test_samples_a_busy_target_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_loop, args=(stop,), daemon=True)
+        worker.start()
+        profiler = SamplingProfiler(hz=200.0, thread_id=worker.ident)
+        profiler.start()
+        time.sleep(0.4)
+        profiler.stop()
+        stop.set()
+        worker.join(timeout=5.0)
+
+        assert profiler.samples > 0
+        folded = profiler.folded()
+        assert folded
+        # Stacks are root→leaf strings; the busy loop must show up.
+        assert any("_busy_loop" in stack for stack in folded)
+        assert all(len(stack.split(";")) <= MAX_DEPTH for stack in folded)
+
+    def test_defaults_to_the_calling_thread(self):
+        with SamplingProfiler(hz=500.0) as profiler:
+            deadline = time.monotonic() + 0.3
+            while time.monotonic() < deadline:
+                sum(i * i for i in range(500))
+        assert profiler.samples > 0
+        assert profiler.thread_id == threading.get_ident()
+
+    def test_double_start_is_an_error(self):
+        profiler = SamplingProfiler(hz=50.0).start()
+        try:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_is_idempotent(self):
+        profiler = SamplingProfiler(hz=50.0).start()
+        profiler.stop()
+        profiler.stop()
+
+    def test_nonpositive_hz_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0.0)
+
+
+class TestFoldedStacks:
+    FOLDED = {
+        "main;solve;inner": 60,
+        "main;solve": 25,
+        "main;io": 10,
+        "main;recurse;recurse": 5,
+    }
+
+    def test_write_read_round_trip(self, tmp_path):
+        path = write_folded(self.FOLDED, tmp_path / "profile_folded.txt")
+        assert read_folded(path) == self.FOLDED
+        # Most-sampled stack first — stable artefact ordering.
+        first = path.read_text(encoding="utf-8").splitlines()[0]
+        assert first == "main;solve;inner 60"
+
+    def test_read_tolerates_junk_lines(self, tmp_path):
+        path = tmp_path / "folded.txt"
+        path.write_text("a;b 3\n\nnot a folded line\nc 2\n", encoding="utf-8")
+        assert read_folded(path) == {"a;b": 3, "c": 2}
+
+    def test_top_functions_self_and_total(self):
+        rows = {row["function"]: row for row in top_functions(self.FOLDED, n=10)}
+        # 'inner' leads on self samples.
+        assert rows["inner"]["self"] == 60
+        assert rows["inner"]["total"] == 60
+        # 'solve' is on 85 samples total but leaf on only 25.
+        assert rows["solve"]["self"] == 25
+        assert rows["solve"]["total"] == 85
+        # 'main' is everywhere but never a leaf.
+        assert rows["main"]["self"] == 0
+        assert rows["main"]["total"] == 100
+        assert rows["main"]["total_pct"] == 100.0
+        # Recursion counted once per stack, not per frame.
+        assert rows["recurse"]["total"] == 5
+
+    def test_top_functions_ranked_by_self(self):
+        names = [row["function"] for row in top_functions(self.FOLDED, n=3)]
+        assert names == ["inner", "solve", "io"]
+
+    def test_top_functions_empty_profile(self):
+        assert top_functions({}, n=5) == []
+
+
+class TestFlamegraph:
+    def test_svg_structure_and_determinism(self):
+        svg = render_flamegraph_svg(TestFoldedStacks.FOLDED, title="t")
+        assert svg.startswith("<svg") or svg.startswith("<?xml")
+        assert "</svg>" in svg
+        for name in ("main", "solve", "inner", "io"):
+            assert name in svg
+        assert "60 samples" in svg
+        # Deterministic: regenerating the artefact is byte-stable.
+        assert svg == render_flamegraph_svg(TestFoldedStacks.FOLDED, title="t")
+
+    def test_empty_profile_renders_placeholder(self):
+        svg = render_flamegraph_svg({})
+        assert "no samples" in svg
+
+    def test_write_flamegraph(self, tmp_path):
+        target = write_flamegraph(
+            TestFoldedStacks.FOLDED, tmp_path / "flame.svg", title="x"
+        )
+        assert target.exists()
+        assert "</svg>" in target.read_text(encoding="utf-8")

@@ -1,0 +1,160 @@
+"""Cross-process trace identity: TraceContext, trace ids, remote spans,
+and the optional ``"tc"`` field on the wire envelope."""
+
+import pytest
+
+from repro.core.messages import CATEGORY_METADATA, DataRequest
+from repro.net.wire import decode_frame, decode_message, encode_message
+from repro.obs import runtime as obs_runtime
+from repro.obs.tracer import NullTracer, TraceContext, Tracer
+
+pytestmark = pytest.mark.obs
+
+
+class TestTraceContextWire:
+    def test_round_trip(self):
+        ctx = TraceContext(trace_id="n3:7", span_id=7, origin="n3", sent_at=12.5)
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_wire_form_is_a_flat_json_array(self):
+        wire = TraceContext("n0:1", 1, "n0", 0.0).to_wire()
+        assert wire == ["n0:1", 1, "n0", 0.0]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            "n0:1",
+            [],
+            ["n0:1", 1, "n0"],  # too short
+            ["n0:1", 1, "n0", 0.0, "extra"],
+            [1, 1, "n0", 0.0],  # trace_id not a string
+            ["n0:1", "1", "n0", 0.0],  # span_id not an int
+            ["n0:1", True, "n0", 0.0],  # bool is not a span id
+            ["n0:1", 1, 0, 0.0],  # origin not a string
+            ["n0:1", 1, "n0", "now"],  # sent_at not numeric
+        ],
+    )
+    def test_malformed_wire_forms_parse_to_none(self, bad):
+        assert TraceContext.from_wire(bad) is None
+
+
+class TestTracerTraceIds:
+    def test_root_span_mints_origin_qualified_trace_id(self):
+        tracer = Tracer(origin="n5")
+        with tracer.span("root") as handle:
+            assert handle.span.trace_id == f"n5:{handle.span.span_id}"
+
+    def test_children_inherit_the_root_trace_id(self):
+        tracer = Tracer(origin="n5")
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grandchild:
+                    pass
+        assert child.span.trace_id == root.span.trace_id
+        assert grandchild.span.trace_id == root.span.trace_id
+
+    def test_sibling_roots_get_distinct_trace_ids(self):
+        tracer = Tracer(origin="n0")
+        with tracer.span("first") as first:
+            pass
+        with tracer.span("second") as second:
+            pass
+        assert first.span.trace_id != second.span.trace_id
+
+    def test_current_context_snapshots_the_innermost_open_span(self):
+        tracer = Tracer(origin="n2", sim_clock=lambda: 42.0)
+        assert tracer.current_context() is None
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                ctx = tracer.current_context()
+        assert ctx is not None
+        assert ctx.span_id == inner.span.span_id
+        assert ctx.trace_id == inner.span.trace_id
+        assert ctx.origin == "n2"
+        assert ctx.sent_at == 42.0
+
+    def test_current_context_without_sim_clock_stamps_zero(self):
+        tracer = Tracer(origin="n2")
+        with tracer.span("s"):
+            assert tracer.current_context().sent_at == 0.0
+
+    def test_remote_span_joins_the_senders_trace(self):
+        sender = Tracer(origin="n0", sim_clock=lambda: 3.0)
+        with sender.span("net.timer"):
+            ctx = sender.current_context()
+
+        receiver = Tracer(origin="n1")
+        with receiver.remote_span("net.deliver", "net", ctx) as handle:
+            span = handle.span
+        assert span.trace_id == ctx.trace_id
+        assert span.remote_parent == ctx.span_id
+        assert span.remote_origin == "n0"
+        # Lexical parentage stays local: this was a root span here.
+        assert span.parent_id is None
+
+    def test_remote_span_children_stay_in_the_remote_trace(self):
+        ctx = TraceContext("n9:4", 4, "n9", 1.0)
+        receiver = Tracer(origin="n1")
+        with receiver.remote_span("deliver", "net", ctx):
+            with receiver.span("handler") as child:
+                pass
+        assert child.span.trace_id == "n9:4"
+
+    def test_null_tracer_context_surface(self):
+        tracer = NullTracer()
+        assert tracer.current_context() is None
+        handle = tracer.remote_span("x", "net", TraceContext("n0:1", 1, "n0"))
+        with handle:
+            pass  # shared no-op handle
+
+
+class TestWireEnvelopeTc:
+    def _payload(self):
+        return DataRequest(data_id="d1", requester=0, request_id=3)
+
+    def test_tc_absent_by_default(self):
+        frame = decode_frame(
+            encode_message(0, self._payload(), CATEGORY_METADATA, sent_at=1.0)
+        )
+        assert "tc" not in frame
+
+    def test_tc_rides_the_envelope_without_touching_decode(self):
+        ctx = TraceContext("n0:9", 9, "n0", 5.5)
+        frame = decode_frame(
+            encode_message(
+                0,
+                self._payload(),
+                CATEGORY_METADATA,
+                size_bytes=64,
+                sent_at=5.5,
+                trace_ctx=ctx.to_wire(),
+            )
+        )
+        assert frame["tc"] == ["n0:9", 9, "n0", 5.5]
+        # The 5-tuple decode contract is unchanged by the extra key.
+        source, payload, category, size, sent_at = decode_message(frame)
+        assert (source, category, size, sent_at) == (0, CATEGORY_METADATA, 64, 5.5)
+        assert payload == self._payload()
+        assert TraceContext.from_wire(frame["tc"]) == ctx
+
+    def test_runtime_helper_returns_none_when_disabled(self):
+        obs_runtime.disable()
+        assert obs_runtime.current_trace_context() is None
+
+    def test_runtime_helpers_round_trip_when_enabled(self):
+        session = obs_runtime.enable(origin="n7")
+        try:
+            with obs_runtime.span("net.timer", "net"):
+                ctx = obs_runtime.current_trace_context()
+                assert ctx is not None and ctx.origin == "n7"
+            with obs_runtime.remote_span("net.deliver", "net", ctx) as handle:
+                pass
+            assert handle.span.remote_origin == "n7"
+            # ctx=None degrades to a plain local span.
+            with obs_runtime.remote_span("net.deliver", "net", None) as plain:
+                pass
+            assert plain.span.remote_parent is None
+            assert session.tracer.depth == 0
+        finally:
+            obs_runtime.disable()

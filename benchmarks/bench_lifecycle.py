@@ -1,0 +1,133 @@
+"""Lifecycle headline — bounded hot storage over a 50k-block chain.
+
+Drives the chain lifecycle subsystem at a scale no simulated workload
+reaches: 50 000 blocks minted straight at the :class:`Blockchain` level
+(valid PoS timestamps, deterministic miner rotation), with in-memory
+pruning after every block and periodic chainstore compaction into the
+cold archive.  Asserts the hot tier never exceeds the policy bound
+``hot_bound_blocks(config)`` while the archive absorbs everything below
+the pruning horizon, and records the footprint split plus throughput
+under the ``"lifecycle"`` key of ``BENCH_headline.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.account import Account
+from repro.core.block import Block
+from repro.core.blockchain import Blockchain
+from repro.core.config import LifecycleSpec, SystemConfig
+from repro.core.pos import compute_hit, compute_pos_hash, mining_delay
+from repro.lifecycle import ARCHIVE_NAME, BlockArchive, hot_bound_blocks
+from repro.metrics.report import render_table
+from repro.persist.chainstore import ChainStore
+
+NODES = 3
+BLOCKS = 50_000
+INTERVAL = 8
+LAG = 8
+RETAIN = 64
+COMPACT_EVERY = 4_096
+
+
+def _mine(chain: Blockchain, accounts, miner: int) -> Block:
+    parent = chain.tip
+    address = accounts[miner].address
+    state = chain.state
+    hit = compute_hit(parent.pos_hash, address, chain.config.hit_modulus)
+    amendment = state.amendment(parent.timestamp)
+    delay = mining_delay(
+        hit,
+        state.tokens(miner),
+        state.stored_items(miner, parent.timestamp),
+        amendment,
+    )
+    return Block(
+        index=parent.index + 1,
+        timestamp=parent.timestamp + delay,
+        previous_hash=parent.current_hash,
+        pos_hash=compute_pos_hash(parent.pos_hash, address),
+        miner=miner,
+        miner_address=address,
+        hit=hit,
+        target_b=amendment,
+        storing_nodes=(miner,),
+        previous_storing_nodes=tuple(state.block_storing.get(parent.index, ())),
+    )
+
+
+def test_lifecycle_footprint_50k(tmp_path, headline_sink, bench_seed):
+    config = SystemConfig(
+        expected_block_interval=10.0,
+        checkpoint_interval=INTERVAL,
+        checkpoint_lag=LAG,
+        lifecycle=LifecycleSpec(retain_blocks=RETAIN),
+    )
+    accounts = {i: Account.for_node(bench_seed, i) for i in range(NODES)}
+    address_of = {i: a.address for i, a in accounts.items()}
+    chain = Blockchain(list(range(NODES)), config, address_of)
+    store = ChainStore(tmp_path / "chain.sqlite")
+    archive = BlockArchive(tmp_path / ARCHIVE_NAME)
+    store.put_block(chain.blocks[0])
+
+    bound = hot_bound_blocks(config)
+    max_retained = 0
+    compactions = 0
+    start = time.perf_counter()
+    for step in range(BLOCKS):
+        block = _mine(chain, accounts, step % NODES)
+        chain.append_block(block)
+        store.put_block(block)
+        chain.maybe_prune()
+        max_retained = max(max_retained, chain.retained_blocks)
+        assert chain.retained_blocks <= bound
+        if chain.height % COMPACT_EVERY == 0:
+            store.compact(archive, chain.first_retained_index, chain.checkpoints)
+            compactions += 1
+    store.compact(archive, chain.first_retained_index, chain.checkpoints)
+    compactions += 1
+    elapsed = time.perf_counter() - start
+
+    hot_bytes = store.footprint_bytes()
+    cold_bytes = archive.size_bytes
+    assert chain.height == BLOCKS
+    assert store.pruned_below() == chain.first_retained_index
+    assert archive.archived_below == store.pruned_below()
+    assert archive.verify_integrity() == []
+    assert store.verify_integrity() == []
+
+    cell = {
+        "blocks": BLOCKS,
+        "blocks_per_second": BLOCKS / elapsed,
+        "hot_bound_blocks": bound,
+        "max_retained_blocks": max_retained,
+        "final_retained_blocks": chain.retained_blocks,
+        "pruned_below": store.pruned_below(),
+        "hot_bytes": hot_bytes,
+        "cold_bytes": cold_bytes,
+        "hot_fraction": hot_bytes / (hot_bytes + cold_bytes),
+        "pinned_checkpoints": len(archive.checkpoints()),
+        "compactions": compactions,
+    }
+    print()
+    print(headline_sink({"lifecycle": cell}))
+    print(
+        render_table(
+            f"Lifecycle — {BLOCKS} blocks, k={INTERVAL}, lag={LAG}, "
+            f"retain={RETAIN}",
+            ["measure", "value"],
+            [
+                ["mint+prune+store throughput", f"{cell['blocks_per_second']:.0f} blocks/s"],
+                ["hot bound (blocks)", bound],
+                ["max hot tier (blocks)", max_retained],
+                ["hot store", f"{hot_bytes / 1024:.0f} KiB"],
+                ["cold archive", f"{cold_bytes / 1024 / 1024:.1f} MiB"],
+                ["hot fraction of total", f"{cell['hot_fraction']:.1%}"],
+                ["pinned checkpoints", cell["pinned_checkpoints"]],
+            ],
+        )
+    )
+    assert max_retained <= bound
+    # The hot tier is O(bound); the cold tier grows with the chain.
+    assert cell["hot_fraction"] < 0.05

@@ -43,32 +43,79 @@ GROWTH_FLOOR_FRACTION = 0.2
 RECOVERY_BOUND_INTERVALS = 10.0
 
 
+def _hash_at(chain: Any, index: int) -> Any:
+    """Block hash at ``index``: the body if retained, else a pinned
+    checkpoint record; None when the height is not comparable at all."""
+    if chain.has_block(index):
+        return chain.block_at(index).current_hash
+    record = chain.checkpoints.get(index)
+    return record.block_hash if record is not None else None
+
+
 def _divergence_height(chain: Any, reference: Any) -> Any:
     """First height where ``chain`` leaves ``reference``; None if a prefix.
 
-    Valid chains hash-link, so equal hashes at the top of the shared
-    range imply the whole prefix matches; otherwise a linear scan finds
-    the first differing block (chains are tens of blocks long).
+    Valid chains hash-link, so equal hashes at the highest comparable
+    height of the shared range imply the whole prefix matches; otherwise
+    a linear scan finds the first differing block (chains are tens of
+    blocks long).  Pruned bodies compare through their pinned checkpoint
+    hashes; heights with neither a body nor a pin on one side are
+    skipped — agreement at any later height covers them by linkage.
     """
     top = min(chain.height, reference.height)
-    if chain.block_at(top).current_hash == reference.block_at(top).current_hash:
-        return None
+    for index in range(top, 0, -1):
+        ours = _hash_at(chain, index)
+        theirs = _hash_at(reference, index)
+        if ours is None or theirs is None:
+            continue
+        if ours == theirs:
+            return None
+        break
+    else:
+        return None  # no mutually comparable height in the shared range
     for index in range(1, top + 1):
-        if (
-            chain.block_at(index).current_hash
-            != reference.block_at(index).current_hash
-        ):
+        ours = _hash_at(chain, index)
+        theirs = _hash_at(reference, index)
+        if ours is None or theirs is None:
+            continue
+        if ours != theirs:
             return index
     return top
 
 
 def _chain_replays(node: Any) -> bool:
-    """Re-validate a node's whole chain from genesis (structure + PoS)."""
+    """Re-validate a node's whole chain (structure + PoS).
+
+    Unpruned chains replay from genesis through a fresh
+    :class:`Blockchain`.  A pruned chain replays from its anchor
+    instead: the pinned checkpoint at the retained floor must match the
+    anchor body and the anchor state's ledger digest (the record is what
+    the pruned prefix collapsed into), then every retained body above it
+    re-validates as usual.
+    """
     chain = node.chain
     blocks = list(chain.blocks)
-    replica = Blockchain(
-        list(chain.node_ids), node.config, chain.address_of, genesis=blocks[0]
-    )
+    first = chain.first_retained_index
+    if first == 0:
+        replica = Blockchain(
+            list(chain.node_ids), node.config, chain.address_of, genesis=blocks[0]
+        )
+    else:
+        anchor = getattr(chain, "_anchor_state", None)
+        record = chain.checkpoints.get(first)
+        if anchor is None or record is None:
+            return False  # pruned without an anchor/pin: unverifiable
+        if (
+            record.block_hash != blocks[0].current_hash
+            or record.ledger_digest != anchor.ledger_digest()
+        ):
+            return False
+        replica = Blockchain._bare(
+            list(chain.node_ids), node.config, chain.address_of
+        )
+        replica.state = anchor.clone()
+        replica.blocks.append(blocks[0])
+        replica._first_retained = first
     for block in blocks[1:]:
         try:
             replica.append_block(block)
@@ -92,10 +139,14 @@ def compute_verdict(spec: Any, nodes: Mapping[int, Any]) -> Dict[str, Any]:
     invalid_chains = sorted(
         node_id for node_id, node in honest.items() if not _chain_replays(node)
     )
+    # A pruned genesis contributes no hash here; linkage through the
+    # divergence scan still ties the pruned prefix to the reference.
     genesis_hashes = {
-        node.chain.block_at(0).current_hash for node in honest.values()
+        node.chain.block_at(0).current_hash
+        for node in honest.values()
+        if node.chain.has_block(0)
     }
-    genesis_consistent = len(genesis_hashes) == 1
+    genesis_consistent = len(genesis_hashes) <= 1
     reference = max(honest.values(), key=lambda n: (n.chain.height, -n.node_id))
     divergences: Dict[int, int] = {}
     if genesis_consistent:

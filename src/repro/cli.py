@@ -7,7 +7,11 @@ Commands:
   run durable (journal + SQLite store + snapshots in DIR).
 * ``resume`` — continue a durable run after a pause, kill, or crash.
 * ``inspect`` — health-check a durable run directory; exits non-zero on
-  unrecoverable corruption.
+  unrecoverable corruption.  Reports hot- vs cold-tier byte footprints.
+* ``prune`` — compact a durable run: move checkpointed history below the
+  retention horizon into the cold archive, then VACUUM the hot store.
+* ``archive inspect`` / ``archive fetch`` — verify and read the cold
+  archive tier (``archive.jsonl``) a compaction leaves behind.
 * ``fig4`` / ``fig5`` / ``fig6`` — regenerate a paper figure from the
   terminal (the benchmarks do the same under pytest).
 * ``live run`` — the same protocol over real TCP sockets on localhost:
@@ -39,13 +43,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional
 
 from repro import obs
-from repro.core.config import PAPER_CONFIG
+from repro.core.config import PAPER_CONFIG, LifecycleSpec
 from repro.core.errors import PersistError
 from repro.metrics.export import metrics_to_record, write_csv, write_json
 from repro.metrics.report import render_table
@@ -85,6 +90,22 @@ def _export(records, json_path: Optional[str], csv_path: Optional[str]) -> None:
         print(f"wrote {write_json(records, json_path)}")
     if csv_path:
         print(f"wrote {write_csv(records, csv_path)}")
+
+
+def _apply_lifecycle(config, args: argparse.Namespace):
+    """Fold the --retain / --checkpoint-every knobs into a config."""
+    interval = getattr(args, "checkpoint_every", None)
+    retain = getattr(args, "retain", None)
+    if interval is not None:
+        config = replace(config, checkpoint_interval=interval)
+    if retain is not None:
+        if config.checkpoint_interval <= 0:
+            raise SystemExit(
+                "error: --retain requires --checkpoint-every K "
+                "(pruning is checkpoint-anchored)"
+            )
+        config = replace(config, lifecycle=LifecycleSpec(retain_blocks=retain))
+    return config
 
 
 def _persist_config(args: argparse.Namespace) -> PersistConfig:
@@ -202,6 +223,7 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
         placement_solver=args.solver,
         expected_block_interval=args.block_interval,
     )
+    config = _apply_lifecycle(config, args)
     spec = ExperimentSpec(
         node_count=args.nodes,
         config=config,
@@ -250,8 +272,17 @@ def cmd_resume(args: argparse.Namespace) -> int:
             _obs_export(session, args)
 
 
+def _format_bytes(count: int) -> str:
+    if count >= 1024 * 1024:
+        return f"{count / (1024 * 1024):.1f} MiB"
+    if count >= 1024:
+        return f"{count / 1024:.1f} KiB"
+    return f"{count} B"
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     report = inspect_run(args.directory)
+    hot = report.journal_bytes + report.store_bytes + report.snapshot_bytes
     rows = [
         ["status", report.status],
         ["journal records", report.journal_records],
@@ -259,6 +290,15 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         ["store height / blocks", f"{report.store_height} / {report.store_blocks}"],
         ["store metadata items", report.store_metadata],
         ["store tip", (report.store_tip or "-")[:16]],
+        ["store pruned below", report.store_pruned_below],
+        ["hot bytes (journal/store/snapshots)",
+         f"{_format_bytes(hot)} ({_format_bytes(report.journal_bytes)} / "
+         f"{_format_bytes(report.store_bytes)} / "
+         f"{_format_bytes(report.snapshot_bytes)})"],
+        ["cold bytes (archive)",
+         f"{_format_bytes(report.archive_bytes)} "
+         f"({report.archive_blocks} block(s), "
+         f"{report.archive_checkpoints} checkpoint(s))"],
         ["snapshots", len(report.snapshots)],
     ]
     for info in report.snapshots:
@@ -278,6 +318,141 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         print(f"{len(report.problems)} problem(s) found", file=sys.stderr)
         return 1
     print("ok")
+    return 0
+
+
+def cmd_prune(args: argparse.Namespace) -> int:
+    """Offline chainstore compaction: hot rows → cold archive + VACUUM."""
+    from repro.core.blockchain import ChainState
+    from repro.lifecycle import BlockArchive, CheckpointRecord, retention_horizon
+    from repro.lifecycle.archive import ARCHIVE_NAME
+    from repro.persist.chainstore import ChainStore
+    from repro.persist.resume import (
+        STORE_NAME,
+        read_manifest,
+        spec_from_dict,
+    )
+
+    directory = Path(args.directory)
+    manifest = read_manifest(directory)
+    spec = spec_from_dict(manifest["spec"])
+    config = spec.config
+    if args.checkpoint_every is not None:
+        config = replace(config, checkpoint_interval=args.checkpoint_every)
+    retain = args.retain
+    if retain is None and config.lifecycle is not None:
+        retain = config.lifecycle.retain_blocks
+    if retain is None or config.checkpoint_interval <= 0:
+        raise SystemExit(
+            "error: no lifecycle policy — pass --retain N and "
+            "--checkpoint-every K (or run with them)"
+        )
+    config = replace(config, lifecycle=LifecycleSpec(retain_blocks=retain))
+
+    with ChainStore(directory / STORE_NAME) as store:
+        height = store.height()
+        floor = store.pruned_below()
+        horizon = retention_horizon(config, height)
+        if horizon <= floor:
+            print(
+                f"nothing to prune (height {height}, floor {floor}, "
+                f"horizon {horizon})"
+            )
+            return 0
+        archive = BlockArchive(directory / ARCHIVE_NAME)
+        node_ids = sorted(store.accounts()) or list(range(spec.node_count))
+        # Replay the ledger to the horizon (cold blocks from the archive,
+        # the rest from the store) so the checkpoint record pins the
+        # at-horizon digest, not the tip's.
+        state = ChainState(node_ids, config)
+        horizon_block = None
+        for index in range(horizon + 1):
+            if index < archive.archived_below:
+                block = archive.fetch(index)
+            else:
+                block = store.block_by_index(index)
+            if block is None:
+                raise SystemExit(f"error: block {index} is missing from the store")
+            state.apply_block(block)
+            horizon_block = block
+        record = CheckpointRecord.pin(horizon_block, state)
+        before = store.footprint_bytes()
+        moved = store.compact(archive, horizon, {horizon: record})
+        after = store.footprint_bytes()
+        print()
+        print(
+            render_table(
+                f"Prune: {directory}",
+                ["field", "value"],
+                [
+                    ["chain height", height],
+                    ["pruned to checkpoint", horizon],
+                    ["blocks moved to archive", moved],
+                    ["checkpoint digest", record.digest()[:16]],
+                    ["hot store bytes",
+                     f"{_format_bytes(before)} -> {_format_bytes(after)}"],
+                    ["archive bytes", _format_bytes(archive.size_bytes)],
+                ],
+            )
+        )
+    return 0
+
+
+def _open_archive(argument: str):
+    """Accept a run directory or a direct archive file path."""
+    from repro.lifecycle import BlockArchive
+    from repro.lifecycle.archive import ARCHIVE_NAME
+
+    path = Path(argument)
+    if path.is_dir():
+        path = path / ARCHIVE_NAME
+    if not path.exists():
+        raise SystemExit(f"error: no archive at {path}")
+    return BlockArchive(path)
+
+
+def cmd_archive_inspect(args: argparse.Namespace) -> int:
+    archive = _open_archive(args.source)
+    stats = archive.stats()
+    checkpoints = ", ".join(map(str, stats.checkpoints)) or "-"
+    print()
+    print(
+        render_table(
+            f"Archive: {stats.path}",
+            ["field", "value"],
+            [
+                ["blocks (contiguous prefix)", f"[0, {stats.archived_below})"],
+                ["bytes", _format_bytes(stats.bytes)],
+                ["pinned checkpoints", checkpoints],
+                ["torn tail dropped (bytes)", stats.torn_tail_bytes],
+            ],
+        )
+    )
+    problems = archive.verify_integrity()
+    for problem in problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} problem(s) found", file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+def cmd_archive_fetch(args: argparse.Namespace) -> int:
+    from repro.core.serialization import block_to_dict
+
+    archive = _open_archive(args.source)
+    stop = args.stop if args.stop is not None else args.index + 1
+    blocks = list(archive.fetch_range(args.index, stop))
+    if not blocks:
+        print(
+            f"error: archive holds [0, {archive.archived_below}); "
+            f"nothing in [{args.index}, {stop})",
+            file=sys.stderr,
+        )
+        return 1
+    for block in blocks:
+        print(json.dumps(block_to_dict(block), sort_keys=True))
     return 0
 
 
@@ -833,6 +1008,7 @@ def _fed_spec(args: argparse.Namespace):
         data_items_per_minute=args.rate,
         expected_block_interval=args.block_interval,
     )
+    config = _apply_lifecycle(config, args)
     try:
         return FederationSpec(
             cluster_count=args.clusters,
@@ -1241,6 +1417,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="profiler sampling rate (default 97)",
         )
 
+    def _lifecycle_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--checkpoint-every", type=int, default=None, metavar="K",
+            help="checkpoint every K blocks (reorgs at or below a "
+                 "checkpoint are refused)",
+        )
+        p.add_argument(
+            "--retain", type=int, default=None, metavar="N",
+            help="lifecycle pruning: keep at least N block bodies hot and "
+                 "drop checkpointed history below them "
+                 "(requires --checkpoint-every)",
+        )
+
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("--nodes", type=int, default=20)
     run.add_argument("--minutes", type=float, default=60.0)
@@ -1249,6 +1438,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--solver", default="greedy",
                      choices=["greedy", "local_search", "lp_rounding", "random"])
     run.add_argument("--block-interval", type=float, default=60.0)
+    _lifecycle_flags(run)
     run.add_argument("--json", help="write metrics record to this JSON file")
     run.add_argument("--csv", help="write metrics record to this CSV file")
     run.add_argument(
@@ -1311,6 +1501,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect.add_argument("directory", help="run directory created by `run --persist`")
     inspect.set_defaults(func=cmd_inspect)
+
+    prune = sub.add_parser(
+        "prune",
+        help="compact a durable run: move checkpointed history below the "
+             "retention horizon into the cold archive and VACUUM the store",
+    )
+    prune.add_argument("directory", help="run directory created by `run --persist`")
+    _lifecycle_flags(prune)
+    prune.set_defaults(func=cmd_prune)
+
+    archive = sub.add_parser(
+        "archive", help="inspect or read a run's cold-archive tier"
+    )
+    archive_sub = archive.add_subparsers(dest="archive_command", required=True)
+    archive_inspect = archive_sub.add_parser(
+        "inspect",
+        help="archive stats + full integrity walk (non-zero on corruption)",
+    )
+    archive_inspect.add_argument(
+        "source", help="run directory or archive.jsonl path"
+    )
+    archive_inspect.set_defaults(func=cmd_archive_inspect)
+    archive_fetch = archive_sub.add_parser(
+        "fetch", help="print archived block(s) as canonical JSON, one per line"
+    )
+    archive_fetch.add_argument(
+        "source", help="run directory or archive.jsonl path"
+    )
+    archive_fetch.add_argument("index", type=int, help="first block index to fetch")
+    archive_fetch.add_argument(
+        "--stop", type=int, default=None, metavar="INDEX",
+        help="fetch the half-open range [index, STOP) instead of one block",
+    )
+    archive_fetch.set_defaults(func=cmd_archive_fetch)
 
     fig4 = sub.add_parser("fig4", help="regenerate Fig. 4 (data-amount sweep)")
     fig4.add_argument("--node-counts", type=int, nargs="+", default=[10, 30, 50])
@@ -1533,6 +1757,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run one federated experiment (all clusters on one engine)"
     )
     _fed_common(fed_run)
+    _lifecycle_flags(fed_run)
     fed_run.add_argument("--json", help="write the aggregate record to this file")
     fed_run.add_argument(
         "--persist", metavar="DIR",
@@ -1700,6 +1925,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except PersistError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not our failure.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -16,7 +16,7 @@ proof-of-work.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.crypto.hashing import hash_items
 from repro.crypto.keys import PrivateKey, PublicKey, generate_keypair
@@ -27,6 +27,13 @@ ADDRESS_PREFIX = "e"
 
 #: Address length in hex characters (truncated SHA-256).
 ADDRESS_HEX_LENGTH = 40
+
+
+#: Canonical per-node accounts, keyed by ``(simulation_seed, node_id)``.
+#: Bounded so pathological seed sweeps can't grow it without limit; a
+#: full memo is simply cleared (re-derivation is always correct).
+_FOR_NODE_MEMO: Dict[Tuple[int, int], "Account"] = {}
+_FOR_NODE_MEMO_MAX = 4096
 
 
 def derive_address(public_key: PublicKey) -> str:
@@ -79,8 +86,23 @@ class Account:
 
     @classmethod
     def for_node(cls, simulation_seed: int, node_id: int) -> "Account":
-        """The canonical deterministic account for a simulated node."""
-        return cls.create(seed=("repro/account", simulation_seed, node_id))
+        """The canonical deterministic account for a simulated node.
+
+        Memoised on ``(simulation_seed, node_id)``: derivation is a pure
+        function of the key, and the account is a frozen value object, so
+        a cache hit is observably identical to re-deriving — same keys,
+        same address, same digests.  ECDSA keygen plus vanity grinding
+        dominates cluster construction in sweeps that rebuild the same
+        seeded cluster many times; the memo makes rebuilds near-free.
+        """
+        key = (simulation_seed, node_id)
+        account = _FOR_NODE_MEMO.get(key)
+        if account is None:
+            if len(_FOR_NODE_MEMO) >= _FOR_NODE_MEMO_MAX:
+                _FOR_NODE_MEMO.clear()
+            account = cls.create(seed=("repro/account", simulation_seed, node_id))
+            _FOR_NODE_MEMO[key] = account
+        return account
 
     def sign(self, message: bytes) -> Signature:
         return sign(self.private_key, message)

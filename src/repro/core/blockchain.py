@@ -29,10 +29,12 @@ from repro.core.errors import (
     ChainLinkError,
     CheckpointError,
     ConsensusError,
+    PrunedBlockError,
     ValidationError,
 )
 from repro.core.metadata import MetadataItem
 from repro.crypto.hashing import hash_items
+from repro.lifecycle.checkpoint import CheckpointRecord
 from repro.core.pos import (
     compute_amendment,
     compute_hit,
@@ -177,6 +179,54 @@ class ChainState:
     def recent_cache_of(self, node: int) -> Tuple[int, ...]:
         return tuple(self._ledger[node].recent_cache)
 
+    # -- lifecycle -------------------------------------------------------------------
+
+    def clone(self) -> "ChainState":
+        """Independent copy (the pruning anchor / fork-replay baseline).
+
+        Deep enough that applying blocks to the copy never mutates the
+        original: ledgers are rebuilt, block objects and metadata items
+        are shared (both immutable).
+        """
+        other = ChainState.__new__(ChainState)
+        other.config = self.config
+        other.node_ids = self.node_ids
+        other._ledger = {
+            node: _NodeLedger(
+                tokens=ledger.tokens,
+                data_expiries=list(ledger.data_expiries),
+                blocks_stored=ledger.blocks_stored,
+                recent_cache=deque(ledger.recent_cache),
+            )
+            for node, ledger in self._ledger.items()
+        }
+        other.metadata_index = dict(self.metadata_index)
+        other.block_storing = dict(self.block_storing)
+        other.blocks_applied = self.blocks_applied
+        return other
+
+    def prune_below(self, horizon: int, cutoff: float) -> int:
+        """Drop derived-state payloads below the retention horizon.
+
+        Removes block-storing entries for pruned indices and metadata
+        items that expired at or before ``cutoff`` (the horizon block's
+        timestamp) — neither feeds :meth:`ledger_digest`, so pruning is
+        digest-neutral by construction.  The per-node ledgers (which DO
+        feed the digest) are never touched.  Returns the number of
+        entries dropped.
+        """
+        stale_blocks = [index for index in self.block_storing if index < horizon]
+        for index in stale_blocks:
+            del self.block_storing[index]
+        stale_items = [
+            data_id
+            for data_id, item in self.metadata_index.items()
+            if item.expires_at <= cutoff
+        ]
+        for data_id in stale_items:
+            del self.metadata_index[data_id]
+        return len(stale_blocks) + len(stale_items)
+
     def ledger_digest(self) -> str:
         """Deterministic hash of the full derived ledger.
 
@@ -238,7 +288,36 @@ class Blockchain:
             raise ValueError("genesis block must have index 0")
         self.blocks: List[Block] = []
         self.state = ChainState(self.node_ids, config)
+        #: Index of the oldest retained body (0 until the chain prunes).
+        self._first_retained: int = 0
+        #: Replay state as of block ``_first_retained`` (None until pruned).
+        self._anchor_state: Optional[ChainState] = None
+        #: Pinned records at every checkpoint the chain has pruned to.
+        self._checkpoints: Dict[int, CheckpointRecord] = {}
+        #: External floor on pruning (e.g. the journaled height of a
+        #: durable run): ``maybe_prune`` never drops bodies above it.
+        self.prune_floor_limit: Optional[int] = None
         self._append_unchecked(genesis)
+
+    @classmethod
+    def _bare(
+        cls,
+        node_ids: Sequence[int],
+        config: SystemConfig,
+        address_of: Dict[int, str],
+    ) -> "Blockchain":
+        """An empty shell for replica construction (no genesis applied)."""
+        chain = cls.__new__(cls)
+        chain.config = config
+        chain.node_ids = tuple(sorted(node_ids))
+        chain.address_of = dict(address_of)
+        chain.blocks = []
+        chain.state = ChainState(chain.node_ids, config)
+        chain._first_retained = 0
+        chain._anchor_state = None
+        chain._checkpoints = {}
+        chain.prune_floor_limit = None
+        return chain
 
     # -- basic accessors -----------------------------------------------------------
 
@@ -250,16 +329,47 @@ class Blockchain:
     def height(self) -> int:
         return self.tip.index
 
-    def __len__(self) -> int:
+    @property
+    def first_retained_index(self) -> int:
+        """Oldest block index whose body is still in memory.
+
+        ``getattr`` guard: snapshots pickled before the lifecycle
+        subsystem existed restore without the attribute and are, by
+        definition, unpruned.
+        """
+        return getattr(self, "_first_retained", 0)
+
+    @property
+    def retained_blocks(self) -> int:
+        """Number of block bodies held in memory (the hot footprint)."""
         return len(self.blocks)
 
+    @property
+    def checkpoints(self) -> Dict[int, CheckpointRecord]:
+        """Pinned checkpoint records, keyed by checkpoint index."""
+        records = getattr(self, "_checkpoints", None)
+        if records is None:
+            records = self._checkpoints = {}
+        return records
+
+    def __len__(self) -> int:
+        """Logical chain length (height + 1), pruned bodies included."""
+        return self.height + 1
+
     def block_at(self, index: int) -> Block:
-        if not (0 <= index < len(self.blocks)):
+        first = self.first_retained_index
+        if 0 <= index < first:
+            raise PrunedBlockError(
+                f"block {index} was pruned (bodies retained from {first})"
+            )
+        position = index - first
+        if not (0 <= position < len(self.blocks)):
             raise IndexError(f"no block at index {index}")
-        return self.blocks[index]
+        return self.blocks[position]
 
     def has_block(self, index: int) -> bool:
-        return 0 <= index < len(self.blocks)
+        """True when the body at ``index`` is retained in memory."""
+        return self.first_retained_index <= index <= self.height
 
     def metadata_of(self, data_id: str) -> Optional[MetadataItem]:
         return self.state.metadata_index.get(data_id)
@@ -394,7 +504,11 @@ class Blockchain:
         longer fork shows up).
         """
         if block.index <= self.height:
-            existing = self.blocks[block.index]
+            if block.index < self.first_retained_index:
+                # The body is pruned, so there is nothing to compare — and
+                # a rewrite that deep is below a checkpoint anyway.
+                return BlockOutcome.STALE
+            existing = self.block_at(block.index)
             if existing.current_hash == block.current_hash:
                 return BlockOutcome.DUPLICATE
             return BlockOutcome.STALE
@@ -431,34 +545,177 @@ class Blockchain:
     def consider_chain(self, blocks: Sequence[Block]) -> bool:
         """Longest-chain rule: adopt ``blocks`` if valid and strictly longer.
 
-        The candidate must be a full chain from genesis and must agree with
-        our chain on every block up to the last checkpoint.  Returns True
-        when the switch happened.
+        Without a lifecycle policy the candidate must be a full chain from
+        genesis (the historical contract).  With lifecycle enabled, a
+        pruned peer legitimately serves only its retained suffix, so an
+        anchored candidate is also acceptable: its first block must match
+        a body we retain bit-for-bit — block hashes commit to the whole
+        ancestor chain, so that one comparison covers every block below
+        the anchor — and the rest replays with full validation from our
+        state at the anchor.  Either way the candidate must agree with our
+        chain on every comparable block up to the last checkpoint; a
+        mismatch at or below the anchor raises :class:`CheckpointError`.
+        Returns True when the switch happened.
         """
         if not blocks or blocks[-1].index <= self.height:
             return False
-        if blocks[0].index != 0:
+        first = self.first_retained_index
+        start = blocks[0].index
+        if start != 0 and getattr(self.config, "lifecycle", None) is None:
             raise ValidationError("candidate chain must start at genesis")
-        if blocks[0].current_hash != self.blocks[0].current_hash:
-            raise ValidationError("candidate chain has a different genesis")
+        if start < first:
+            # The candidate reaches below what we retain; agreement down
+            # there is covered by the anchor hash, so trim to our floor.
+            offset = first - start
+            if offset >= len(blocks) or blocks[offset].index != first:
+                raise ValidationError("candidate chain is not contiguous")
+            blocks = blocks[offset:]
+            start = first
+        if start == 0:
+            if blocks[0].current_hash != self.blocks[0].current_hash:
+                raise ValidationError("candidate chain has a different genesis")
+        else:
+            if start > self.height:
+                raise ValidationError(
+                    f"candidate chain starts at {start}, above our tip "
+                    f"{self.height}: cannot anchor it"
+                )
+            if blocks[0].current_hash != self.block_at(start).current_hash:
+                if start <= self.last_checkpoint():
+                    raise CheckpointError(
+                        f"candidate chain rewrites checkpointed block {start} "
+                        f"(checkpoint at {self.last_checkpoint()})"
+                    )
+                raise ValidationError(
+                    f"candidate chain does not anchor to our block {start}"
+                )
         checkpoint = self.last_checkpoint()
-        for index in range(1, checkpoint + 1):
+        for index in range(max(start, first) + 1, checkpoint + 1):
+            position = index - start
             if (
-                index >= len(blocks)
-                or blocks[index].current_hash != self.blocks[index].current_hash
+                position >= len(blocks)
+                or blocks[position].current_hash != self.block_at(index).current_hash
             ):
                 raise CheckpointError(
                     f"candidate chain rewrites checkpointed block {index} "
                     f"(checkpoint at {checkpoint})"
                 )
-        candidate = Blockchain(
-            self.node_ids, self.config, self.address_of, genesis=blocks[0]
-        )
+        if start == 0:
+            candidate = Blockchain(
+                self.node_ids, self.config, self.address_of, genesis=blocks[0]
+            )
+            for block in blocks[1:]:
+                candidate.append_block(block)
+            self.blocks = candidate.blocks
+            self.state = candidate.state
+            return True
+        replica = self._replica_at(start)
         for block in blocks[1:]:
-            candidate.append_block(block)
-        self.blocks = candidate.blocks
-        self.state = candidate.state
+            replica.append_block(block)
+        # The replica already re-holds our validated bodies from the
+        # retained floor through the anchor (identical to the candidate's
+        # copies by the anchor-hash check), plus the new suffix.
+        self.blocks = replica.blocks
+        self.state = replica.state
+        if first > 0:
+            # Re-apply the in-memory pruning the pre-fork state carried.
+            self.state.prune_below(first, self.blocks[0].timestamp)
         return True
+
+    # -- lifecycle pruning --------------------------------------------------------
+
+    def retention_horizon(self) -> int:
+        """Newest checkpoint the lifecycle policy allows pruning up to."""
+        from repro.lifecycle.spec import retention_horizon
+
+        return retention_horizon(self.config, self.height)
+
+    def maybe_prune(self) -> int:
+        """Advance the pruning horizon if the policy says so.
+
+        Called after every append on lifecycle-enabled nodes; returns the
+        number of bodies dropped (0 when lifecycle is off or the horizon
+        has not moved).  ``prune_floor_limit`` — when set by a durability
+        layer — caps the horizon at the newest checkpoint the journal
+        already holds, so a burst of fast blocks can never prune a body
+        before it was persisted.
+        """
+        horizon = self.retention_horizon()
+        limit = getattr(self, "prune_floor_limit", None)
+        interval = self.config.checkpoint_interval
+        if limit is not None and interval > 0:
+            horizon = min(horizon, (limit // interval) * interval)
+        if horizon <= self.first_retained_index:
+            return 0
+        return self.prune_to(horizon)
+
+    def prune_to(self, horizon: int) -> int:
+        """Drop bodies below checkpoint ``horizon``, pinning its record.
+
+        The anchor replay state is advanced to the horizon *before* any
+        body is dropped (the bodies being pruned are exactly what advances
+        it), a :class:`CheckpointRecord` is pinned from that at-checkpoint
+        state, and only then is the prefix released.  Chain digests are
+        untouched: the tip, the height, and the cumulative ledger all
+        survive pruning bit-for-bit.
+        """
+        first = self.first_retained_index
+        if horizon <= first:
+            return 0
+        if horizon > self.last_checkpoint():
+            raise ValueError(
+                f"cannot prune to {horizon}: last checkpoint is "
+                f"{self.last_checkpoint()}"
+            )
+        interval = self.config.checkpoint_interval
+        if interval <= 0 or horizon % interval != 0:
+            raise ValueError(f"prune horizon {horizon} is not a checkpoint index")
+        anchor = getattr(self, "_anchor_state", None)
+        if anchor is None:
+            # First prune: derive the anchor from scratch (cheap — this
+            # happens while the chain is still short).
+            anchor = ChainState(self.node_ids, self.config)
+            for block in self.blocks[: horizon - first + 1]:
+                anchor.apply_block(block)
+        else:
+            for block in self.blocks[1 : horizon - first + 1]:
+                anchor.apply_block(block)
+        anchor_block = self.blocks[horizon - first]
+        self.checkpoints[horizon] = CheckpointRecord.pin(anchor_block, anchor)
+        dropped = horizon - first
+        self.blocks = self.blocks[dropped:]
+        self._first_retained = horizon
+        self._anchor_state = anchor
+        cutoff = anchor_block.timestamp
+        anchor.prune_below(horizon, cutoff)
+        self.state.prune_below(horizon, cutoff)
+        return dropped
+
+    def _replica_at(self, index: int) -> "Blockchain":
+        """A standalone chain positioned at our own block ``index``.
+
+        Rebuilds state by cloning the pruning anchor (or starting fresh
+        from genesis when unpruned) and re-applying our already-validated
+        bodies — the fork-replay baseline for anchored chain adoption and
+        allocation re-verification on pruned chains.
+        """
+        first = self.first_retained_index
+        if not (first <= index <= self.height):
+            raise PrunedBlockError(
+                f"cannot rebuild state at {index}: bodies retained are "
+                f"[{first}, {self.height}]"
+            )
+        replica = Blockchain._bare(self.node_ids, self.config, self.address_of)
+        anchor = getattr(self, "_anchor_state", None)
+        if anchor is None:
+            replica._append_unchecked(self.blocks[0])
+        else:
+            replica.state = anchor.clone()
+            replica.blocks.append(self.blocks[0])
+            replica._first_retained = first
+        for position in range(1, index - first + 1):
+            replica._append_unchecked(self.blocks[position])
+        return replica
 
     def missing_indices(self, up_to: int) -> List[int]:
         """Indices this chain lacks to reach height ``up_to``."""

@@ -25,6 +25,29 @@ DEFAULT_HIT_MODULUS = 2**64
 
 
 @dataclass(frozen=True)
+class LifecycleSpec:
+    """Finite-lifetime-block policy (see :mod:`repro.lifecycle`).
+
+    With a spec configured (and ``checkpoint_interval > 0``), a node keeps
+    only the most recent ``retain_blocks`` block bodies in memory: once a
+    checkpoint is buried deeper than the retention window, the chain pins
+    a :class:`~repro.lifecycle.checkpoint.CheckpointRecord` (cumulative
+    ledger digest + stake summary) at that checkpoint and drops every body
+    below it.  The durable chain store migrates the same range into the
+    cold archive tier on its next compaction.
+    """
+
+    #: Block bodies kept above the pruning horizon.  The horizon only ever
+    #: advances to checkpoint indices, so the retained window can be up to
+    #: one checkpoint interval larger than this.
+    retain_blocks: int = 256
+
+    def __post_init__(self) -> None:
+        if self.retain_blocks < 1:
+            raise ValueError("retain_blocks must be at least 1")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """All tunables of the edge blockchain system."""
 
@@ -89,6 +112,10 @@ class SystemConfig:
     #: otherwise a briefly-forked node locks itself out of the honest
     #: chain.  None defaults to 2× the interval.
     checkpoint_lag: Optional[int] = None
+    #: Finite-lifetime-block policy: checkpoint-anchored pruning of block
+    #: bodies below the retention horizon (None = chains grow unbounded,
+    #: the historical behaviour).  Requires ``checkpoint_interval > 0``.
+    lifecycle: Optional[LifecycleSpec] = None
 
     # --- adversarial hardening (admission control / quarantine) ---
     #: Misbehavior score at which a peer is quarantined (no longer
@@ -139,6 +166,11 @@ class SystemConfig:
             raise ValueError("checkpoint interval cannot be negative")
         if self.checkpoint_lag is not None and self.checkpoint_lag < 0:
             raise ValueError("checkpoint lag cannot be negative")
+        if self.lifecycle is not None and self.checkpoint_interval <= 0:
+            raise ValueError(
+                "lifecycle pruning is checkpoint-anchored: "
+                "set checkpoint_interval > 0"
+            )
         if self.consensus not in ("pos", "pow"):
             raise ValueError(f"unknown consensus mechanism: {self.consensus}")
         if self.pow_difficulty < 0:

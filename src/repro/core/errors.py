@@ -38,6 +38,16 @@ class SerializationError(ValidationError):
     """
 
 
+class PrunedBlockError(IndexError, EdgeChainError):
+    """A block body below the retention horizon was requested.
+
+    Subclasses :class:`IndexError` so callers that already treat
+    ``block_at`` misses as index errors keep working; lifecycle-aware
+    callers can catch it specifically to distinguish "pruned" from
+    "never existed".
+    """
+
+
 class StorageError(EdgeChainError):
     """A storage operation failed (capacity exhausted, unknown item...)."""
 

@@ -440,6 +440,23 @@ class EdgeNode:
                     request.wire_size(),
                     CATEGORY_DISSEMINATION_REQUEST,
                 )
+        self._maybe_prune()
+
+    def _maybe_prune(self) -> None:
+        """Advance the lifecycle pruning horizon after a tip change.
+
+        No-op unless the config carries a :class:`LifecycleSpec`.  When
+        the chain drops a prefix, locally stored bodies below the new
+        floor go with it — their slots stay accounted (the chain-recorded
+        assignment stands), only the serveable copies move to the cold
+        tier handled by the persistence layer.
+        """
+        dropped = self.chain.maybe_prune()
+        if not dropped:
+            return
+        self.storage.prune_block_bodies(self.chain.first_retained_index)
+        if _obs.is_enabled():
+            _obs.add("lifecycle.pruned_blocks", dropped)
 
     # ------------------------------------------------------------------ data access
 
@@ -902,14 +919,37 @@ class EdgeNode:
 
         if not allocations_verifiable(self.config.placement_solver):
             return True
-        if not blocks or blocks[0].index != 0:
+        if not blocks:
             return False
-        replica = Blockchain(
-            list(self.chain.node_ids),
-            self.config,
-            self.chain.address_of,
-            genesis=blocks[0],
-        )
+        start = blocks[0].index
+        if start == 0:
+            replica = Blockchain(
+                list(self.chain.node_ids),
+                self.config,
+                self.chain.address_of,
+                genesis=blocks[0],
+            )
+        elif getattr(self.config, "lifecycle", None) is None:
+            return False
+        else:
+            # A pruned peer serves an anchored suffix.  Verify placements
+            # on top of our own state at the anchor; anchor mismatches and
+            # out-of-range starts are deferred to ``consider_chain``,
+            # which classifies them (checkpoint rewrite vs. bad anchor).
+            first = self.chain.first_retained_index
+            if start < first:
+                offset = first - start
+                if offset >= len(blocks) or blocks[offset].index != first:
+                    return True  # not contiguous; consider_chain rejects it
+                blocks = blocks[offset:]
+                start = first
+            if (
+                start > self.chain.height
+                or self.chain.block_at(start).current_hash
+                != blocks[0].current_hash
+            ):
+                return True
+            replica = self.chain._replica_at(start)
         hop_matrix = self.topology.hop_matrix()
         for block in blocks[1:]:
             violations = verify_block_allocations(
@@ -925,6 +965,8 @@ class EdgeNode:
             try:
                 replica.append_block(block)
             except ValidationError:
+                if start != 0:
+                    return True  # let consider_chain classify the failure
                 return False
         return True
 
@@ -962,6 +1004,7 @@ class EdgeNode:
             for data_id in new_index:
                 self.mempool.pop(data_id, None)
             self._bill_pos_wait()
+            self._maybe_prune()
             self._schedule_mining()
 
     def _on_data_request(self, source: int, request: DataRequest) -> None:

@@ -248,6 +248,7 @@ def storage_to_dict(storage: NodeStorage) -> Dict[str, Any]:
         "blocks": [block_to_dict(block) for block in storage.assigned_blocks()],
         "recent": [block_to_dict(block) for block in storage.recent_blocks()],
         "last_block": None if last is None else block_to_dict(last),
+        "pruned_block_slots": storage.pruned_block_slots,
     }
 
 
@@ -279,4 +280,6 @@ def storage_from_dict(
             block_from_dict(block_payload, verify_hash=verify_hashes)
         )
     storage.rejected_for_capacity = int(_require(payload, "rejected_for_capacity"))
+    # Optional for wire compatibility with pre-lifecycle encoders.
+    storage._pruned_block_slots = int(payload.get("pruned_block_slots", 0))
     return storage

@@ -50,14 +50,23 @@ class NodeStorage:
         self._last_block: Optional[Block] = None
         #: Count of items dropped because the node was full.
         self.rejected_for_capacity = 0
+        #: Assigned-block bodies released by lifecycle pruning.  The slots
+        #: stay occupied — the chain-recorded assignment (and its Q_i
+        #: credit) stands, only the serveable body moved to the cold tier.
+        self._pruned_block_slots = 0
 
     # -- accounting --------------------------------------------------------------
+
+    @property
+    def pruned_block_slots(self) -> int:
+        return getattr(self, "_pruned_block_slots", 0)
 
     def used_slots(self) -> int:
         """Slots in use (data + blocks + recent cache + the last block)."""
         return (
             len(self._data)
             + len(self._blocks)
+            + self.pruned_block_slots
             + len(self._recent)
             + (1 if self._last_block is not None else 0)
         )
@@ -151,6 +160,21 @@ class NodeStorage:
             if block.index == index:
                 return block
         return None
+
+    def prune_block_bodies(self, before_index: int) -> int:
+        """Drop assigned-block bodies below the lifecycle horizon.
+
+        The slots stay counted (``pruned_block_slots``): the chain assigned
+        them and Q_i credit is chain-derived, so releasing the slot would
+        change placement inputs.  Only the serveable body goes — a
+        ``get_block`` for a pruned index misses, exactly as if the body
+        lived on the cold tier.  Returns the number of bodies dropped.
+        """
+        pruned = [index for index in self._blocks if index < before_index]
+        for index in pruned:
+            del self._blocks[index]
+        self._pruned_block_slots = self.pruned_block_slots + len(pruned)
+        return len(pruned)
 
     def stored_block_indices(self) -> Set[int]:
         indices = set(self._blocks.keys())

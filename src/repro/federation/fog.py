@@ -153,6 +153,16 @@ class FogTier:
         data_ids = [
             item.data_id for block in chain.blocks for item in block.metadata_items
         ]
+        if chain.first_retained_index:
+            # Pruned prefix: cold bodies can't be walked, but the state's
+            # metadata index still names every unexpired item wherever it
+            # was packed — those must stay advertised for lookups.
+            hot = set(data_ids)
+            data_ids.extend(
+                data_id
+                for data_id in chain.state.metadata_index
+                if data_id not in hot
+            )
         bloom = BloomFilter.sized_for(max(len(data_ids), 64))
         for data_id in data_ids:
             bloom.add(data_id)
@@ -177,6 +187,14 @@ class FogTier:
             if leader_node is not None:
                 leader = leader_node.node_id
                 term = leader_node.current_term
+        # The retention horizon never passes the newest checkpoint, so the
+        # body is normally retained; the pinned record covers a chain that
+        # just pruned flush to its checkpoint.
+        if chain.has_block(checkpoint_index):
+            checkpoint_digest = chain.block_at(checkpoint_index).current_hash
+        else:
+            pinned = chain.checkpoints.get(checkpoint_index)
+            checkpoint_digest = pinned.block_hash if pinned is not None else ""
         return ClusterSummary(
             cluster_id=cluster_id,
             version=version,
@@ -184,7 +202,7 @@ class FogTier:
             height=chain.height,
             chain_digest=chain.chain_digest(),
             checkpoint_height=checkpoint_index,
-            checkpoint_digest=chain.block_at(checkpoint_index).current_hash,
+            checkpoint_digest=checkpoint_digest,
             item_count=len(data_ids),
             bloom=bloom,
             stake_top_share=(

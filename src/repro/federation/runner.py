@@ -37,8 +37,24 @@ class FederationResult:
 
 
 def _items_on_chain(cluster: Any) -> int:
+    """Metadata items accounted on the longest chain.
+
+    Unpruned, this is every item ever packed.  Once the body prefix is
+    pruned the cold blocks can't be walked, so unexpired cold items are
+    recovered from the state's metadata index instead — a floor on the
+    true census (expired cold items are gone for good, by design).
+    """
     chain = cluster.longest_chain_node().chain
-    return sum(len(block.metadata_items) for block in chain.blocks)
+    packed = sum(len(block.metadata_items) for block in chain.blocks)
+    if chain.first_retained_index == 0:
+        return packed
+    hot = {
+        item.data_id for block in chain.blocks for item in block.metadata_items
+    }
+    cold = sum(
+        1 for data_id in chain.state.metadata_index if data_id not in hot
+    )
+    return packed + cold
 
 
 def _mempool_depth(cluster: Any) -> int:
@@ -57,11 +73,20 @@ def collect_federation_metrics(runtime: FederationRuntime) -> FederationResult:
         per_cluster = []
         for domain, metrics in zip(runtime.domains, cluster_metrics):
             chain = domain.cluster.longest_chain_node().chain
+            checkpoint_index = chain.last_checkpoint()
+            pinned = chain.checkpoints.get(checkpoint_index)
             per_cluster.append(
                 {
                     "cluster_id": domain.cluster_id,
                     "height": chain.height,
                     "chain_digest": chain.chain_digest(),
+                    "last_checkpoint": checkpoint_index,
+                    "checkpoint_digest": (
+                        chain.block_at(checkpoint_index).current_hash
+                        if chain.has_block(checkpoint_index)
+                        else (pinned.block_hash if pinned is not None else "")
+                    ),
+                    "first_retained": chain.first_retained_index,
                     "items_on_chain": _items_on_chain(domain.cluster),
                     "mempool_depth": _mempool_depth(domain.cluster),
                     "formation_converged": domain.formation_converged,

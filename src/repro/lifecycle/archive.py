@@ -1,0 +1,268 @@
+"""The cold-archive tier: an append-only, CRC-checked block archive.
+
+``archive.jsonl`` sits next to the run's journal and chain store.  Every
+line is one archived block — a JSON object carrying the block index,
+its hash, the canonical block payload, an optional pinned checkpoint
+record, and a CRC-32 over the canonical encoding of everything else
+(the same framing discipline as the run journal).  Compaction appends
+blocks in strict index order, so the archive is a contiguous prefix
+``[0, archived_below)`` of the chain and a ranged fetch is a scan.
+
+Crash tolerance mirrors the journal: a torn final line (the process died
+mid-append during compaction) is truncated away on open and the
+compactor simply re-archives from the surviving floor — archiving is
+idempotent because the chain store only deletes a row *after* the
+archive holds (and has fsynced) its copy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.block import Block
+from repro.core.errors import PersistError
+from repro.core.serialization import block_from_dict, block_to_dict
+from repro.lifecycle.checkpoint import CheckpointRecord
+from repro.obs import runtime as _obs
+
+PathLike = Union[str, Path]
+
+#: Canonical archive file name inside a durable run directory.
+ARCHIVE_NAME = "archive.jsonl"
+
+#: Bumped on breaking changes to the record encoding.
+ARCHIVE_FORMAT_VERSION = 1
+
+__all__ = ["ARCHIVE_NAME", "ArchiveStats", "BlockArchive"]
+
+
+def _canonical(body: Dict[str, Any]) -> bytes:
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _crc_of(body: Dict[str, Any]) -> str:
+    return format(zlib.crc32(_canonical(body)) & 0xFFFFFFFF, "08x")
+
+
+@dataclass(frozen=True)
+class ArchiveStats:
+    """Cheap summary of one archive file (``repro archive inspect``)."""
+
+    path: Path
+    blocks: int
+    bytes: int
+    #: First index NOT in the archive (== blocks for a healthy archive).
+    archived_below: int
+    #: Pinned checkpoint records found in the archive, by index.
+    checkpoints: Tuple[int, ...]
+    #: Bytes of torn trailing data dropped on the last open (0 = clean).
+    torn_tail_bytes: int
+
+
+class BlockArchive:
+    """Append/scan handle for one cold-archive file.
+
+    Opening scans the file once, truncates any torn tail, and builds an
+    in-memory ``index → byte offset`` map — cold reads are rare, so a
+    seek-per-fetch is fine, but integrity verification and ranged fetch
+    must not re-scan per block.
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self._offsets: Dict[int, int] = {}
+        self._checkpoints: Dict[int, CheckpointRecord] = {}
+        self._length = 0
+        self.torn_tail_bytes = 0
+        self._load()
+
+    # -- scanning ---------------------------------------------------------------
+
+    def _load(self) -> None:
+        self._offsets.clear()
+        self._checkpoints.clear()
+        self._length = 0
+        self.torn_tail_bytes = 0
+        if not self.path.exists():
+            return
+        raw = self.path.read_bytes()
+        offset = 0
+        expected = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                self.torn_tail_bytes = len(raw) - offset
+                break
+            line = raw[offset:newline]
+            try:
+                body = self._decode(line, expected)
+            except PersistError as error:
+                if newline + 1 >= len(raw):
+                    # Terminated-but-invalid final record: a torn append.
+                    self.torn_tail_bytes = len(raw) - offset
+                    break
+                raise PersistError(
+                    f"archive {self.path} is corrupt mid-file: {error}"
+                ) from error
+            self._offsets[expected] = offset
+            checkpoint = body.get("checkpoint")
+            if checkpoint is not None:
+                try:
+                    record = CheckpointRecord.from_dict(checkpoint)
+                except (KeyError, TypeError, ValueError) as error:
+                    raise PersistError(
+                        f"archive {self.path} checkpoint record at "
+                        f"{expected} is invalid: {error}"
+                    ) from error
+                self._checkpoints[record.index] = record
+            expected += 1
+            offset = newline + 1
+            self._length = offset
+        if self.torn_tail_bytes:
+            with open(self.path, "ab") as handle:
+                handle.truncate(self._length)
+
+    def _decode(self, line: bytes, expected_index: int) -> Dict[str, Any]:
+        try:
+            body = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise PersistError(f"archive record is not valid JSON: {error}") from error
+        if not isinstance(body, dict):
+            raise PersistError("archive record is not an object")
+        crc = body.pop("crc", None)
+        if crc != _crc_of(body):
+            raise PersistError(
+                f"archive record CRC mismatch (idx {body.get('idx')})"
+            )
+        if body.get("v") != ARCHIVE_FORMAT_VERSION:
+            raise PersistError(f"unsupported archive format {body.get('v')!r}")
+        if body.get("idx") != expected_index:
+            raise PersistError(
+                f"archive index break: expected {expected_index}, "
+                f"got {body.get('idx')}"
+            )
+        return body
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def archived_below(self) -> int:
+        """First block index the archive does NOT hold."""
+        return len(self._offsets)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._length
+
+    def checkpoints(self) -> Dict[int, CheckpointRecord]:
+        return dict(self._checkpoints)
+
+    def stats(self) -> ArchiveStats:
+        return ArchiveStats(
+            path=self.path,
+            blocks=len(self._offsets),
+            bytes=self._length,
+            archived_below=self.archived_below,
+            checkpoints=tuple(sorted(self._checkpoints)),
+            torn_tail_bytes=self.torn_tail_bytes,
+        )
+
+    # -- appending (compaction) -------------------------------------------------
+
+    def append(
+        self, block: Block, checkpoint: Optional[CheckpointRecord] = None
+    ) -> None:
+        """Archive one block (must be the next contiguous index)."""
+        if block.index != self.archived_below:
+            raise PersistError(
+                f"archive append out of order: expected {self.archived_below}, "
+                f"got {block.index}"
+            )
+        body: Dict[str, Any] = {
+            "v": ARCHIVE_FORMAT_VERSION,
+            "idx": block.index,
+            "hash": block.current_hash,
+            "block": block_to_dict(block),
+        }
+        if checkpoint is not None:
+            body["checkpoint"] = checkpoint.to_dict()
+        body["crc"] = _crc_of(body)
+        encoded = _canonical(body) + b"\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "ab") as handle:
+            if handle.tell() != self._length:
+                handle.truncate(self._length)
+            handle.write(encoded)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._offsets[block.index] = self._length
+        if checkpoint is not None:
+            self._checkpoints[checkpoint.index] = checkpoint
+        self._length += len(encoded)
+        if _obs.is_enabled():
+            _obs.add("lifecycle.archived_blocks")
+            _obs.add("lifecycle.archive_bytes", len(encoded))
+
+    # -- fetching ---------------------------------------------------------------
+
+    def _record_at(self, index: int) -> Dict[str, Any]:
+        offset = self._offsets.get(index)
+        if offset is None:
+            raise PersistError(
+                f"block {index} is not in the archive "
+                f"(holds [0, {self.archived_below}))"
+            )
+        with open(self.path, "rb") as handle:
+            handle.seek(offset)
+            line = handle.readline()
+        return self._decode(line.rstrip(b"\n"), index)
+
+    def fetch(self, index: int, verify_hash: bool = True) -> Block:
+        """Read one archived block, re-verifying its content hash."""
+        body = self._record_at(index)
+        block = block_from_dict(body["block"], verify_hash=verify_hash)
+        if block.index != index or body.get("hash") != block.current_hash:
+            raise PersistError(f"archived block {index} fails verification")
+        return block
+
+    def fetch_range(
+        self, start: int, stop: int, verify_hashes: bool = True
+    ) -> Iterator[Block]:
+        """Yield archived blocks with ``start <= index < stop`` in order."""
+        stop = min(stop, self.archived_below)
+        for index in range(max(start, 0), stop):
+            yield self.fetch(index, verify_hash=verify_hashes)
+
+    # -- integrity ---------------------------------------------------------------
+
+    def verify_integrity(self) -> List[str]:
+        """Full cold-tier walk; returns human-readable problems (empty = ok).
+
+        Re-hashes every archived body, re-checks parent linkage across
+        the whole prefix, and re-derives every pinned checkpoint digest.
+        """
+        problems: List[str] = []
+        previous: Optional[Block] = None
+        for index in range(self.archived_below):
+            try:
+                block = self.fetch(index)
+            except Exception as error:  # noqa: BLE001 — report, don't raise
+                problems.append(f"block {index} unreadable: {error}")
+                previous = None
+                continue
+            if previous is not None and not block.links_to(previous):
+                problems.append(
+                    f"block {index} does not link to archived parent"
+                )
+            checkpoint = self._checkpoints.get(index)
+            if checkpoint is not None and checkpoint.block_hash != block.current_hash:
+                problems.append(
+                    f"checkpoint record at {index} pins a different block hash"
+                )
+            previous = block
+        return problems

@@ -1,0 +1,102 @@
+"""Pinned checkpoint records: the digests that replace pruned bodies.
+
+When a chain prunes to a checkpoint it pins a :class:`CheckpointRecord`
+there — the block hash, the cumulative ledger digest *as of that block*,
+and a per-node stake summary.  The record is what the dropped prefix
+collapses into: any later attempt to rewrite history at or below the
+checkpoint fails the anchor-hash comparison (block hashes commit to the
+entire ancestor chain, so one comparison covers every pruned block), and
+resume/verdict paths re-derive the ledger digest from the replay anchor
+and compare it against the pinned value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.crypto.hashing import hash_items
+
+__all__ = ["CheckpointRecord"]
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One pinned checkpoint: chain digest + validator/stake summary."""
+
+    index: int
+    block_hash: str
+    #: Cumulative ledger digest after applying blocks 0..index.
+    ledger_digest: str
+    #: Per-node stake at the checkpoint: (node id, repr(tokens)) pairs,
+    #: sorted by node id.  ``repr`` keeps the float balances bit-exact,
+    #: the same convention the ledger digest itself uses.
+    stake_summary: Tuple[Tuple[int, str], ...]
+    #: Timestamp of the checkpointed block (the metadata-expiry cutoff
+    #: used when the in-memory index was pruned to this horizon).
+    timestamp: float
+
+    @classmethod
+    def pin(cls, block: Any, state: Any) -> "CheckpointRecord":
+        """Pin a record for ``block`` from the chain state *at* that block.
+
+        ``state`` must be the replay state with exactly blocks 0..index
+        applied (the pruning anchor state) — pinning from a tip state
+        would record post-checkpoint balances.
+        """
+        if getattr(state, "blocks_applied", None) != block.index + 1:
+            raise ValueError(
+                f"checkpoint state has {state.blocks_applied} blocks applied, "
+                f"expected {block.index + 1}"
+            )
+        summary = tuple(
+            (node, repr(state.tokens(node))) for node in state.node_ids
+        )
+        return cls(
+            index=block.index,
+            block_hash=block.current_hash,
+            ledger_digest=state.ledger_digest(),
+            stake_summary=summary,
+            timestamp=block.timestamp,
+        )
+
+    def digest(self) -> str:
+        """One hash committing to the whole record (archive/store pinning)."""
+        fields = [
+            "lifecycle-checkpoint",
+            self.index,
+            self.block_hash,
+            self.ledger_digest,
+            repr(self.timestamp),
+        ]
+        for node, tokens in self.stake_summary:
+            fields.extend((node, tokens))
+        return hash_items(*fields).hex()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "block_hash": self.block_hash,
+            "ledger_digest": self.ledger_digest,
+            "stake_summary": [[node, tokens] for node, tokens in self.stake_summary],
+            "timestamp": self.timestamp,
+            "digest": self.digest(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CheckpointRecord":
+        record = cls(
+            index=int(payload["index"]),
+            block_hash=str(payload["block_hash"]),
+            ledger_digest=str(payload["ledger_digest"]),
+            stake_summary=tuple(
+                (int(node), str(tokens)) for node, tokens in payload["stake_summary"]
+            ),
+            timestamp=float(payload["timestamp"]),
+        )
+        stored = payload.get("digest")
+        if stored is not None and stored != record.digest():
+            raise ValueError(
+                f"checkpoint record at {record.index} fails its digest"
+            )
+        return record

@@ -1,0 +1,84 @@
+"""Retention-horizon and storage-bound arithmetic for chain lifecycle.
+
+All pure functions of a :class:`~repro.core.config.SystemConfig` and a
+chain height — no chain access, so the persistence layer, the CLI, and
+the observability probes can all agree on where the horizon sits without
+holding a live chain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import LifecycleSpec, SystemConfig
+
+__all__ = [
+    "checkpoint_lag",
+    "hot_bound_blocks",
+    "last_checkpoint_for",
+    "lifecycle_enabled",
+    "retention_horizon",
+]
+
+
+def lifecycle_enabled(config: SystemConfig) -> bool:
+    """True when the config prunes (a spec plus a checkpoint schedule)."""
+    spec: Optional[LifecycleSpec] = getattr(config, "lifecycle", None)
+    return spec is not None and config.checkpoint_interval > 0
+
+
+def checkpoint_lag(config: SystemConfig) -> int:
+    """Confirmation depth before a block may become a checkpoint."""
+    if config.checkpoint_lag is not None:
+        return config.checkpoint_lag
+    return 2 * config.checkpoint_interval
+
+
+def last_checkpoint_for(config: SystemConfig, height: int) -> int:
+    """Index of the newest checkpointed block at ``height`` (0 if none).
+
+    Mirrors :meth:`repro.core.blockchain.Blockchain.last_checkpoint` so
+    horizon math works from a store height alone (offline ``repro prune``
+    has no live chain).
+    """
+    interval = config.checkpoint_interval
+    if interval <= 0:
+        return 0
+    confirmed = height - checkpoint_lag(config)
+    if confirmed <= 0:
+        return 0
+    return (confirmed // interval) * interval
+
+
+def retention_horizon(config: SystemConfig, height: int) -> int:
+    """First block index whose body must be retained at ``height``.
+
+    The horizon is the newest checkpoint index that is both confirmed
+    (``last_checkpoint``) and buried deeper than the retention window —
+    pruning is always anchored at a checkpoint, never mid-interval, so a
+    pinned :class:`~repro.lifecycle.checkpoint.CheckpointRecord` exists
+    exactly at every horizon the chain has ever pruned to.  Returns 0
+    (nothing prunable) when lifecycle is off or the chain is too short.
+    """
+    if not lifecycle_enabled(config):
+        return 0
+    interval = config.checkpoint_interval
+    by_retention = (height - config.lifecycle.retain_blocks) // interval * interval
+    return max(0, min(last_checkpoint_for(config, height), by_retention))
+
+
+def hot_bound_blocks(config: SystemConfig) -> Optional[int]:
+    """Upper bound on retained block bodies, or None when unbounded.
+
+    A chain pruned on every append retains ``height - horizon + 1``
+    bodies; the horizon lags the tip by at most
+    ``max(retain_blocks, checkpoint_lag) + interval`` blocks (one full
+    interval of slack because the horizon only advances in checkpoint
+    steps).  The ``storage-unbounded`` monitor fires when a live chain
+    exceeds this.
+    """
+    if not lifecycle_enabled(config):
+        return None
+    interval = config.checkpoint_interval
+    slack = max(config.lifecycle.retain_blocks, checkpoint_lag(config))
+    return slack + interval + 1

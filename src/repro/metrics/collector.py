@@ -42,6 +42,9 @@ class RunMetrics:
     recovery_durations: List[float] = field(default_factory=list)
     #: Total data items produced.
     data_items_produced: int = 0
+    #: Tip height of the reference chain; ``None`` falls back to the interval
+    #: count, which is only correct when every block body is still retained.
+    tip_height: int | None = None
 
     # -- the paper's headline quantities ------------------------------------------
 
@@ -72,6 +75,8 @@ class RunMetrics:
         return mean_or_nan(self.recovery_durations)
 
     def chain_height(self) -> int:
+        if self.tip_height is not None:
+            return self.tip_height
         return len(self.block_intervals)
 
     def mining_distribution(self) -> List[int]:
@@ -90,6 +95,7 @@ def collect_run_metrics(
     blocks_mined: Dict[int, int],
     recovery_durations: Sequence[float] = (),
     data_items_produced: int = 0,
+    tip_height: int | None = None,
 ) -> RunMetrics:
     """Assemble a :class:`RunMetrics` from raw run outputs."""
     timestamps = list(block_timestamps)
@@ -108,4 +114,5 @@ def collect_run_metrics(
         blocks_mined=dict(blocks_mined),
         recovery_durations=list(recovery_durations),
         data_items_produced=data_items_produced,
+        tip_height=tip_height,
     )

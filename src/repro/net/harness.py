@@ -346,6 +346,19 @@ def _planned_data_id(workload: LiveWorkload, event: ProductionEvent) -> str:
     return cache[id(event)]
 
 
+def _metric_block_timestamps(chain) -> List[float]:
+    """Retained-suffix timestamps above the *policy* retention horizon.
+
+    The policy horizon is a pure function of config and height, so every
+    run mode of the same seed reports identical interval metrics even
+    when a durability layer held the actual prune floor back.
+    """
+    from repro.lifecycle.spec import retention_horizon
+
+    metric_floor = retention_horizon(chain.config, chain.height)
+    return [b.timestamp for b in chain.blocks if b.index >= metric_floor]
+
+
 @dataclass
 class LiveRunResult:
     """What a finished live run established."""
@@ -594,10 +607,11 @@ class LiveClusterHarness:
             storage_used=storage_used,
             delivery_times=delivery_times,
             failed_requests=failed,
-            block_timestamps=[b.timestamp for b in reference.chain.blocks],
+            block_timestamps=_metric_block_timestamps(reference.chain),
             blocks_mined=blocks_mined,
             recovery_durations=recovery_durations,
             data_items_produced=produced,
+            tip_height=reference.chain.height,
         )
         messages_sent = sum(
             live.network.messages_sent for live in self.nodes.values()

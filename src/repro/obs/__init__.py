@@ -83,6 +83,7 @@ from repro.obs.monitors import (
     MonitorEvent,
     MonitorSuite,
     StakeConcentrationMonitor,
+    StorageUnboundedMonitor,
     read_events,
     read_verdict,
     severity_rank,
@@ -194,6 +195,7 @@ __all__ = [
     "MonitorEvent",
     "MonitorSuite",
     "StakeConcentrationMonitor",
+    "StorageUnboundedMonitor",
     "read_events",
     "read_verdict",
     "severity_rank",

@@ -390,6 +390,33 @@ class QuarantineMonitor(Monitor):
         return ("ok", "no peers quarantined", 0.0, 0.0)
 
 
+class StorageUnboundedMonitor(Monitor):
+    """Critical when the hot block footprint exceeds the lifecycle bound.
+
+    Only registered when the run has a lifecycle spec — without one the
+    chain is intentionally unbounded and the timeline carries no
+    ``hot_blocks``/``hot_bound`` fields to level on.  Firing means the
+    pruning pipeline stalled: checkpoints stopped landing, or
+    ``maybe_prune`` stopped being reached.
+    """
+
+    name = "storage-unbounded"
+
+    def level(self, sample: Dict[str, Any]) -> tuple:
+        hot = sample.get("hot_blocks")
+        bound = sample.get("hot_bound")
+        if hot is None or bound is None:
+            return ("ok", "no lifecycle data", None, None)
+        if hot > bound:
+            return (
+                "critical",
+                f"{hot} hot block bodies exceed the lifecycle bound of {bound}",
+                float(hot),
+                float(bound),
+            )
+        return ("ok", f"{hot} hot block bodies within bound {bound}", float(hot), float(bound))
+
+
 class PrefixedMonitor(Monitor):
     """Adapt a single-cluster monitor to one ``c{k}_``-namespaced stream.
 
@@ -502,18 +529,19 @@ class MonitorSuite:
     def for_config(cls, config: Any) -> "MonitorSuite":
         """Default monitor set, thresholds derived from a SystemConfig."""
         t0 = config.expected_block_interval
-        return cls(
-            [
-                ChainStallMonitor(t0),
-                IntervalDriftMonitor(t0),
-                FairnessMonitor(),
-                StakeConcentrationMonitor(),
-                LeaderFlapMonitor(),
-                CoverageMonitor(),
-                AdmissionRejectionMonitor(),
-                QuarantineMonitor(),
-            ]
-        )
+        monitors: List[Monitor] = [
+            ChainStallMonitor(t0),
+            IntervalDriftMonitor(t0),
+            FairnessMonitor(),
+            StakeConcentrationMonitor(),
+            LeaderFlapMonitor(),
+            CoverageMonitor(),
+            AdmissionRejectionMonitor(),
+            QuarantineMonitor(),
+        ]
+        if getattr(config, "lifecycle", None) is not None:
+            monitors.append(StorageUnboundedMonitor())
+        return cls(monitors)
 
     @classmethod
     def for_federation(cls, federation: Any) -> "MonitorSuite":
@@ -529,20 +557,23 @@ class MonitorSuite:
             DirectoryStalenessMonitor(spec.directory_refresh_seconds),
             LookupFailureMonitor(),
         ]
+        lifecycle = getattr(spec.config, "lifecycle", None) is not None
         for domain in federation.domains:
             label = f"c{domain.cluster_id}"
             prefix = f"{label}_"
+            per_cluster: List[Monitor] = [
+                ChainStallMonitor(t0),
+                IntervalDriftMonitor(t0),
+                FairnessMonitor(),
+                StakeConcentrationMonitor(),
+                CoverageMonitor(),
+                AdmissionRejectionMonitor(),
+                QuarantineMonitor(),
+            ]
+            if lifecycle:
+                per_cluster.append(StorageUnboundedMonitor())
             monitors.extend(
-                PrefixedMonitor(inner, prefix, label)
-                for inner in (
-                    ChainStallMonitor(t0),
-                    IntervalDriftMonitor(t0),
-                    FairnessMonitor(),
-                    StakeConcentrationMonitor(),
-                    CoverageMonitor(),
-                    AdmissionRejectionMonitor(),
-                    QuarantineMonitor(),
-                )
+                PrefixedMonitor(inner, prefix, label) for inner in per_cluster
             )
         return cls(monitors)
 

@@ -76,6 +76,11 @@ class RuntimeProbe:
         if self._cursor_height > height:  # reorg rewound the reference chain
             self._cursor_height = height
             return
+        # Pruning may have dropped bodies the cursor hasn't walked yet; the
+        # EWMA then simply skips the cold gap rather than faulting on them.
+        floor = getattr(chain, "first_retained_index", 0)
+        if self._cursor_height < floor:
+            self._cursor_height = floor
         for index in range(self._cursor_height + 1, height + 1):
             interval = (
                 chain.block_at(index).timestamp
@@ -158,6 +163,27 @@ class RuntimeProbe:
         ]
         return max(depths) if depths else None
 
+    def _lifecycle_fields(self, chain: Any, config: Any) -> Dict[str, Any]:
+        """Hot-footprint fields (None when the run has no lifecycle spec).
+
+        ``hot_blocks`` is the in-memory body count of the reference chain;
+        ``hot_bound`` the worst-case bound :func:`hot_bound_blocks` derives
+        from the spec.  The storage-unbounded monitor compares the two.
+        """
+        if getattr(config, "lifecycle", None) is None:
+            return {
+                "hot_blocks": None,
+                "hot_bound": None,
+                "first_retained": None,
+            }
+        from repro.lifecycle.spec import hot_bound_blocks
+
+        return {
+            "hot_blocks": chain.retained_blocks,
+            "hot_bound": hot_bound_blocks(config),
+            "first_retained": chain.first_retained_index,
+        }
+
     def _recent_coverage(self, chain: Any) -> float:
         """Average holder fraction over the newest ``COVERAGE_WINDOW`` blocks.
 
@@ -211,6 +237,7 @@ class RuntimeProbe:
             "queue_depth": cluster.engine.queue_depth,
             "mempool_depth": self._mempool_depth(),
             **self._chaos_fields(),
+            **self._lifecycle_fields(chain, config),
         }
 
 

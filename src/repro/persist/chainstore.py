@@ -125,6 +125,11 @@ class ChainStore:
                 (key, value),
             )
 
+    def pruned_below(self) -> int:
+        """First block index still held in the hot tables (0 = never compacted)."""
+        value = self.get_meta("pruned_below")
+        return 0 if value is None else int(value)
+
     # -- writes ----------------------------------------------------------------------
 
     def put_block(self, block: Block) -> None:
@@ -324,13 +329,86 @@ class ChainStore:
             )
         }
 
+    # -- lifecycle compaction ----------------------------------------------------------
+
+    def compact(self, archive, up_to: int, checkpoints=None) -> int:
+        """Migrate blocks below ``up_to`` into the cold archive, then reclaim.
+
+        Crash-safe by ordering: every block is appended (and fsynced) to
+        the archive *before* any hot row is deleted, the deletes and the
+        ``pruned_below`` floor bump commit in one transaction, and only
+        then does VACUUM return the pages to the filesystem.  A crash at
+        any point resumes idempotently — the archive append skips what it
+        already holds (contiguous floor), and the deletes re-run
+        harmlessly.  Metadata rows ride along with their block: cold
+        queries go through ``repro archive fetch``.
+
+        ``checkpoints`` maps block index → :class:`CheckpointRecord`;
+        records falling in the compacted range are pinned into the
+        archive alongside their block.  Returns the number of blocks
+        moved out of the hot tier.
+        """
+        floor = self.pruned_below()
+        if up_to <= floor:
+            return 0
+        if up_to > self.height():
+            raise PersistError(
+                f"cannot compact to {up_to}: store height is {self.height()}"
+            )
+        pinned = dict(checkpoints or {})
+        for index in range(archive.archived_below, up_to):
+            block = self.block_by_index(index, verify_hash=True)
+            if block is None:
+                raise PersistError(
+                    f"cannot compact: block {index} is missing from the store"
+                )
+            archive.append(block, checkpoint=pinned.get(index))
+        with self._conn:
+            self._conn.execute("DELETE FROM blocks WHERE idx < ?", (up_to,))
+            self._conn.execute(
+                "DELETE FROM metadata_items WHERE block_idx < ?", (up_to,)
+            )
+            self._conn.execute(
+                "DELETE FROM assignments WHERE block_idx < ?", (up_to,)
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO store_meta (key, value) VALUES (?, ?)",
+                ("pruned_below", str(up_to)),
+            )
+        for index in [i for i in self._cache if i < up_to]:
+            del self._cache[index]
+        self._conn.execute("VACUUM")
+        # VACUUM in WAL mode rewrites the database *through* the WAL, so
+        # the reclaimed pages sit in chain.sqlite-wal until a checkpoint;
+        # truncate it now so compaction actually returns disk.
+        self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        moved = up_to - floor
+        if _obs.is_enabled():
+            _obs.add("lifecycle.compacted_blocks", moved)
+        return moved
+
+    def footprint_bytes(self) -> int:
+        """On-disk bytes of the hot store (main db + WAL + shared memory)."""
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            candidate = Path(str(self.path) + suffix)
+            if candidate.exists():
+                total += candidate.stat().st_size
+        return total
+
     # -- integrity --------------------------------------------------------------------
 
     def verify_integrity(self) -> List[str]:
-        """Re-walk the store; returns human-readable problems (empty = ok)."""
+        """Re-walk the store; returns human-readable problems (empty = ok).
+
+        A compacted store anchors at its ``pruned_below`` floor: the walk
+        starts there, and the first retained block's parent linkage is
+        vouched for by the archive (its hash commits to the pruned
+        prefix), not re-checked here.
+        """
         problems: List[str] = []
         previous: Optional[Block] = None
-        expected_index = 0
+        expected_index = self.pruned_below()
         for row in self._conn.execute(
             "SELECT idx, hash, payload FROM blocks ORDER BY idx"
         ):

@@ -33,9 +33,10 @@ from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from repro.core.config import SystemConfig
+from repro.core.config import LifecycleSpec, SystemConfig
 from repro.core.errors import PersistError
 from repro.core.serialization import block_from_dict, block_to_dict
+from repro.lifecycle.archive import ARCHIVE_NAME, BlockArchive
 from repro.metrics.collector import RunMetrics
 from repro.metrics.export import metrics_to_record, store_chain_record
 from repro.obs import runtime as _obs
@@ -120,9 +121,14 @@ def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
 def spec_from_dict(payload: Dict[str, Any]) -> ExperimentSpec:
     try:
         churn = payload["churn"]
+        config_payload = dict(payload["config"])
+        lifecycle = config_payload.get("lifecycle")
+        if isinstance(lifecycle, dict):
+            # ``asdict`` flattens the nested dataclass on the way out.
+            config_payload["lifecycle"] = LifecycleSpec(**lifecycle)
         return ExperimentSpec(
             node_count=int(payload["node_count"]),
-            config=SystemConfig(**payload["config"]),
+            config=SystemConfig(**config_payload),
             seed=int(payload["seed"]),
             duration_minutes=payload["duration_minutes"],
             mobility_epoch_minutes=float(payload["mobility_epoch_minutes"]),
@@ -181,6 +187,16 @@ class PersistSession:
         #: Re-mined blocks must match these exactly (determinism check).
         self.verify_tail: Dict[int, str] = {}
         self.blocks_verified = 0
+        #: Cold-archive handle, opened on the first compaction.
+        self.archive: Optional[BlockArchive] = None
+
+    def compact_to(self, horizon: int, checkpoints=None) -> int:
+        """Move store rows below ``horizon`` into the cold archive."""
+        if horizon <= self.store.pruned_below():
+            return 0
+        if self.archive is None:
+            self.archive = BlockArchive(self.directory / ARCHIVE_NAME)
+        return self.store.compact(self.archive, horizon, checkpoints)
 
     def record_block(self, block, clock: float) -> None:
         expected = self.verify_tail.pop(block.index, None)
@@ -281,20 +297,38 @@ class _PersistTask:
             return
         chain = self.runtime.cluster.longest_chain_node().chain
         clock = self.runtime.engine.now
+        floor = chain.first_retained_index
         agree = min(self.journaled_height, chain.height)
-        while agree > 0 and (
-            self.journaled_hashes.get(agree) != chain.blocks[agree].current_hash
-        ):
+        while agree > 0:
+            if agree < floor:
+                raise PersistError(
+                    f"journal agreement point fell below the pruning "
+                    f"horizon {floor}: cannot journal a pruned reorg"
+                )
+            if self.journaled_hashes.get(agree) == chain.block_at(agree).current_hash:
+                break
             agree -= 1
         if agree < self.journaled_height:
             self.session.record_reorg(agree + 1, clock)
             for height in range(agree + 1, self.journaled_height + 1):
                 self.journaled_hashes.pop(height, None)
+        if agree + 1 < floor:
+            raise PersistError(
+                f"journal height {agree} fell behind the pruning horizon "
+                f"{floor}: the bodies to journal were already pruned"
+            )
         for height in range(agree + 1, chain.height + 1):
-            block = chain.blocks[height]
+            block = chain.block_at(height)
             self.session.record_block(block, clock)
             self.journaled_hashes[height] = block.current_hash
         self.journaled_height = chain.height
+        # Pruning must never outrun the journal: any node may become the
+        # reference chain, so cap every node's prune floor at the height
+        # just journaled — a fast-block burst between ticks then retains
+        # its bodies until the next flush instead of dropping rows the
+        # store has never seen.
+        for node in self.runtime.cluster.nodes.values():
+            node.chain.prune_floor_limit = self.journaled_height
 
     def snapshot(self) -> None:
         if self.session is None:
@@ -308,6 +342,16 @@ class _PersistTask:
         write_snapshot(
             self.session.directory, self.runtime, retain=self.persist.snapshot_retain
         )
+        # Chainstore compaction rides the snapshot cadence: once the
+        # in-memory chain has pruned past the store's floor, migrate the
+        # corresponding rows to the cold archive.  The snapshot above is
+        # already durable, so a crash mid-compaction loses nothing.
+        chain = self.runtime.cluster.longest_chain_node().chain
+        floor = chain.first_retained_index
+        if floor > 0:
+            self.session.compact_to(
+                min(floor, self.journaled_height), chain.checkpoints
+            )
 
 
 # -- run / resume --------------------------------------------------------------------
@@ -521,7 +565,12 @@ def resume_run(
     session = _open_session(directory, persist, fresh=False)
     try:
         # Store catch-up: the journal is write-ahead, so it is the truth.
+        # Heights below the compaction floor already moved to the cold
+        # archive; re-inserting them would undo the compaction.
+        pruned_floor = session.store.pruned_below()
         for height in sorted(journal_view):
+            if height < pruned_floor:
+                continue
             payload = journal_view[height]
             stored = session.store.block_by_index(height)
             if stored is None or stored.current_hash != payload["hash"]:
@@ -572,6 +621,15 @@ class RunReport:
     store_blocks: int = 0
     store_metadata: int = 0
     store_tip: Optional[str] = None
+    #: First block index still in the hot store (0 = never compacted).
+    store_pruned_below: int = 0
+    #: On-disk byte footprints, hot tier vs cold tier.
+    journal_bytes: int = 0
+    store_bytes: int = 0
+    snapshot_bytes: int = 0
+    archive_bytes: int = 0
+    archive_blocks: int = 0
+    archive_checkpoints: int = 0
     snapshots: List[SnapshotInfo] = field(default_factory=list)
     #: Recoverable oddities (torn tail, store behind journal) — resume
     #: handles these; listed for transparency.
@@ -621,6 +679,29 @@ def inspect_run(directory: PathLike) -> RunReport:
     if journal_view:
         report.journal_height = max(journal_view)
 
+    journal_path = directory / JOURNAL_NAME
+    if journal_path.exists():
+        report.journal_bytes = journal_path.stat().st_size
+
+    archive = None
+    archive_path = directory / ARCHIVE_NAME
+    if archive_path.exists():
+        try:
+            archive = BlockArchive(archive_path)
+            stats = archive.stats()
+            report.archive_bytes = stats.bytes
+            report.archive_blocks = stats.blocks
+            report.archive_checkpoints = len(stats.checkpoints)
+            if stats.torn_tail_bytes:
+                report.notes.append(
+                    f"archive had a torn final record "
+                    f"({stats.torn_tail_bytes} bytes); truncated on open"
+                )
+            report.problems.extend(archive.verify_integrity())
+        except PersistError as error:
+            report.problems.append(f"cold archive unreadable: {error}")
+            archive = None
+
     store_path = directory / STORE_NAME
     if store_path.exists():
         try:
@@ -629,8 +710,23 @@ def inspect_run(directory: PathLike) -> RunReport:
                 report.store_blocks = store.block_count()
                 report.store_metadata = store.metadata_count()
                 report.store_tip = store.tip_hash()
+                report.store_pruned_below = store.pruned_below()
+                report.store_bytes = store.footprint_bytes()
                 report.problems.extend(store.verify_integrity())
+                if report.store_pruned_below > 0 and (
+                    archive is None
+                    or archive.archived_below < report.store_pruned_below
+                ):
+                    held = 0 if archive is None else archive.archived_below
+                    report.problems.append(
+                        f"store is compacted below {report.store_pruned_below} "
+                        f"but the archive only holds [0, {held})"
+                    )
                 for height in sorted(journal_view):
+                    if height < report.store_pruned_below:
+                        # Compacted out of the hot store; the archive walk
+                        # above already re-verified the cold copy.
+                        continue
                     stored = store.block_by_index(height)
                     if stored is None:
                         report.notes.append(
@@ -653,6 +749,10 @@ def inspect_run(directory: PathLike) -> RunReport:
             report.snapshots.append(inspect_snapshot(path))
         except PersistError as error:
             report.problems.append(str(error))
+        try:
+            report.snapshot_bytes += path.stat().st_size
+        except OSError:
+            pass
 
     if report.status == STATUS_RUNNING and not report.snapshots:
         report.notes.append(

@@ -310,7 +310,18 @@ def _collect_metrics(runtime: SimRuntime) -> RunMetrics:
     cluster = runtime.cluster
     duration = runtime.spec.duration_seconds
     reference = cluster.longest_chain_node()
-    block_timestamps = [block.timestamp for block in reference.chain.blocks]
+    # Interval metrics walk the retained suffix above the *policy* horizon
+    # — a pure function of config and height — not the node's actual prune
+    # floor, which a durability layer may hold back.  Every run mode of
+    # the same seed therefore reports identical intervals.
+    from repro.lifecycle.spec import retention_horizon
+
+    metric_floor = retention_horizon(reference.chain.config, reference.chain.height)
+    block_timestamps = [
+        block.timestamp
+        for block in reference.chain.blocks
+        if block.index >= metric_floor
+    ]
     delivery_times: List[float] = []
     recovery_durations: List[float] = []
     blocks_mined: Dict[int, int] = {}
@@ -337,6 +348,7 @@ def _collect_metrics(runtime: SimRuntime) -> RunMetrics:
         blocks_mined=blocks_mined,
         recovery_durations=recovery_durations,
         data_items_produced=produced,
+        tip_height=reference.chain.height,
     )
 
 

@@ -1038,8 +1038,15 @@ def _print_fed_summary(title: str, aggregate: dict) -> None:
                 ["max mempool depth", aggregate["max_mempool_depth"]],
                 ["cross lookups ok/failed",
                  f"{aggregate['lookups_ok']} / {aggregate['lookups_failed']}"],
-                ["migrations", aggregate["migrations"]],
+                ["migrations ok/rejected",
+                 f"{aggregate['migrations']} / "
+                 f"{aggregate['migrations_rejected']}"],
                 ["gossip rounds", aggregate["gossip_rounds"]],
+                ["bloom FP probes / verify rejected",
+                 f"{aggregate['bloom_fp_probes']} / "
+                 f"{aggregate['verify_rejected']}"],
+                ["fog quarantined",
+                 aggregate["fog_quarantined"] or "-"],
                 ["directory staleness (s)",
                  round(aggregate["directory_staleness"], 1)],
                 ["directory digest", aggregate["directory_digest"][:16]],
@@ -1158,6 +1165,16 @@ def _cmd_fed_chaos_inner(args: argparse.Namespace) -> int:
     from repro.federation import FederatedChaosSpec, run_federated_chaos
 
     federation = _fed_spec(args)
+    fog_adversaries = {}
+    if args.fog_behavior:
+        peers = (
+            tuple(int(p) for p in args.fog_peers.split(","))
+            if args.fog_peers
+            else (0,)
+        )
+        fog_adversaries = {args.fog_behavior: peers}
+    elif args.fog_peers:
+        raise SystemExit("error: --fog-peers requires --fog-behavior")
     try:
         spec = FederatedChaosSpec(
             federation=federation,
@@ -1165,6 +1182,7 @@ def _cmd_fed_chaos_inner(args: argparse.Namespace) -> int:
             behavior=args.behavior,
             start_minutes=args.start,
             stop_minutes=args.stop,
+            fog_adversaries=fog_adversaries,
         )
     except ValueError as error:
         raise SystemExit(f"error: {error}")
@@ -1178,21 +1196,44 @@ def _cmd_fed_chaos_inner(args: argparse.Namespace) -> int:
         )
         or "-"
     )
+    fog = verdict["fog"]
+    fog_adversary_label = (
+        ", ".join(
+            f"{behavior}@{peers}"
+            for behavior, peers in sorted(fog["adversaries"].items())
+        )
+        or "-"
+    )
+    rehomed = (
+        ", ".join(
+            f"c{cluster}→p{peer}"
+            for cluster, peer in sorted(fog["rehomed_clusters"].items())
+        )
+        or "-"
+    )
+    behavior_label = spec.behavior if spec.byzantine_clusters else (
+        "+".join(sorted(fog["adversaries"])) or spec.behavior
+    )
     print()
     print(
         render_table(
             f"Federated chaos: {federation.cluster_count} clusters x "
-            f"{federation.nodes_per_cluster} nodes, behavior={spec.behavior}, "
-            f"seed={federation.seed}",
+            f"{federation.nodes_per_cluster} nodes, "
+            f"behavior={behavior_label}, seed={federation.seed}",
             ["field", "value"],
             [
                 ["verdict", verdict["status"]],
                 ["blast radius ok", blast["ok"]],
                 ["byzantine clusters", blast["byzantine_clusters"] or "-"],
                 ["sibling safety", siblings],
+                ["fog ok", fog["ok"]],
+                ["fog adversaries", fog_adversary_label],
+                ["fog quarantined", fog["quarantined_peers"] or "-"],
+                ["clusters re-homed", rehomed],
                 ["cross lookups ok/failed",
-                 f"{verdict['fog']['lookups_ok']} / "
-                 f"{verdict['fog']['lookups_failed']}"],
+                 f"{fog['lookups_ok']} / {fog['lookups_failed']}"],
+                ["attestation / verify rejected",
+                 f"{fog['attestation_rejected']} / {fog['verify_rejected']}"],
             ],
         )
     )
@@ -1822,6 +1863,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--stop", type=float, default=None, metavar="MINUTES",
         help="minutes into the run the misbehavior switches off "
              "(default: active to the end)",
+    )
+    fed_chaos.add_argument(
+        "--fog-behavior", default=None, metavar="NAME",
+        help="fog-tier adversary behavior (summary_poisoner, "
+             "gossip_suppressor, version_inflator, gateway_tamperer)",
+    )
+    fed_chaos.add_argument(
+        "--fog-peers", default=None, metavar="IDS",
+        help="comma-separated super-peer ids running --fog-behavior "
+             "(default 0)",
     )
     fed_chaos.add_argument(
         "--json", metavar="PATH", help="also write the verdict to this file"

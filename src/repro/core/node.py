@@ -30,6 +30,7 @@ from repro.core.admission import (
     AdmissionControl,
     block_admissible,
     classify_rejection,
+    foreign_metadata_admissible,
     metadata_admissible,
 )
 from repro.core.allocation import AllocationEngine
@@ -244,8 +245,22 @@ class EdgeNode:
         dissemination replicates the payload.  Returns the rehosted item,
         or ``None`` if the data id is already known locally (on-chain or
         pending), making migration idempotent.
+
+        The item is untrusted until proven otherwise: it must pass
+        structural admission (embedded key derives to the claimed
+        producer address, producer signature verifies, not expired)
+        before the gateway re-signs it — otherwise a tampered migration
+        would launder a forgery into the local mempool under the
+        gateway's own identity.  Rejections count under
+        ``chaos.rejections{reason="foreign_metadata"}``; the sender is
+        unknown at this layer, so nobody is charged here (the fog tier
+        attributes pushes to the pushing super-peer).
         """
         if item.data_id in self.mempool or self.chain.metadata_of(item.data_id) is not None:
+            return None
+        reason = foreign_metadata_admissible(item, self.engine.now)
+        if reason is not None:
+            self.admission.reject(None, reason)
             return None
         adopted = rehost_metadata(item, self.account, self.node_id)
         self.counters.data_adopted += 1

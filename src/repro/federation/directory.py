@@ -125,11 +125,21 @@ class ClusterSummary:
     #: The cluster's general-information consensus head, if Raft runs.
     raft_leader: Optional[int] = None
     raft_term: int = 0
+    #: Gateway attestation: the home cluster's gateway signs the canonical
+    #: summary body (:meth:`attestation_payload`) so no super-peer can
+    #: forge an entry for a cluster it does not gate.
+    attestor_public_key_hex: str = ""
+    attestation_hex: str = ""
 
-    def digest(self) -> str:
-        """Deterministic content digest of the whole entry."""
+    def attestation_payload(self) -> bytes:
+        """The canonical summary body the gateway key signs.
+
+        Covers every content field — the attestation fields themselves
+        excluded — with the same fixed float formatting as
+        :meth:`digest`, so signer and verifier hash identical bytes.
+        """
         return hash_items(
-            "cluster-summary",
+            "cluster-summary-body",
             self.cluster_id,
             self.version,
             f"{self.updated_at:.6f}",
@@ -145,6 +155,15 @@ class ClusterSummary:
             f"{self.fairness_max:.9f}" if math.isfinite(self.fairness_max) else "inf",
             -1 if self.raft_leader is None else self.raft_leader,
             self.raft_term,
+        )
+
+    def digest(self) -> str:
+        """Deterministic content digest of the whole entry."""
+        return hash_items(
+            "cluster-summary",
+            self.attestation_payload().hex(),
+            self.attestor_public_key_hex,
+            self.attestation_hex,
         ).hex()[:32]
 
 

@@ -114,8 +114,18 @@ def collect_federation_metrics(runtime: FederationRuntime) -> FederationResult:
             ),
             "lookups_ok": counters.lookups_ok,
             "lookups_failed": counters.lookups_failed,
+            "lookup_fallbacks": counters.lookup_fallbacks,
             "migrations": counters.migrations,
+            "migrations_rejected": counters.migrations_rejected,
             "gossip_rounds": counters.gossip_rounds,
+            "bloom_fp_probes": counters.bloom_fp_probes,
+            "verify_rejected": counters.verify_rejected,
+            "attestation_rejected": counters.attestation_rejected,
+            "fog_quarantined": sorted(runtime.fog.admission.quarantined),
+            "rehomed_clusters": {
+                str(cluster_id): peer_id
+                for cluster_id, peer_id in sorted(runtime.fog.rehomed.items())
+            },
             "directory_staleness": runtime.fog.directory_staleness(
                 runtime.engine.now
             ),

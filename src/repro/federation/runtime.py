@@ -335,7 +335,10 @@ def build_federation_runtime(spec: FederationSpec) -> FederationRuntime:
             for cluster_id in range(spec.cluster_count)
         ]
         fog = FogTier(engine, spec, domains)
-        lookups = CrossLookupDriver(fog)
+        lookups = CrossLookupDriver(
+            fog,
+            rng=random.Random(derived_seed(spec.seed, "lookup-fallback", 0)),
+        )
         runtime = FederationRuntime(
             spec=spec, engine=engine, domains=domains, fog=fog, lookups=lookups
         )

@@ -26,6 +26,15 @@ FED_RAFT_ELECTION_TIMEOUT = (3.0, 6.0)
 FED_RAFT_HEARTBEAT_SECONDS = 1.0
 
 
+class FederationSpecError(ValueError):
+    """A :class:`FederationSpec` constraint is violated.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites (the CLI, older tests) keep working, while new callers
+    can catch the typed error specifically.
+    """
+
+
 def cluster_seed(root_seed: int, cluster_id: int) -> int:
     """The derived seed for one cluster, a pure function of the root."""
     digest = hash_items("federation-cluster", root_seed, cluster_id)
@@ -74,30 +83,42 @@ class FederationSpec:
     #: cluster id → (node id → EdgeNode subclass); the federated chaos
     #: harness plants whole-cluster adversaries through this.
     node_classes_by_cluster: Optional[Dict[int, Dict[int, type]]] = None
+    #: super-peer id → SuperPeer subclass; the federated chaos harness
+    #: plants fog-tier adversaries through this.
+    fog_peer_classes: Optional[Dict[int, type]] = None
 
     def __post_init__(self) -> None:
         if self.cluster_count < 1:
-            raise ValueError("a federation needs at least one cluster")
+            raise FederationSpecError("a federation needs at least one cluster")
         if self.nodes_per_cluster < 2:
-            raise ValueError("each cluster needs at least 2 nodes")
+            raise FederationSpecError("each cluster needs at least 2 nodes")
         if self.super_peer_count < 1:
-            raise ValueError("the fog tier needs at least one super-peer")
+            raise FederationSpecError(
+                "the fog tier needs at least one super-peer"
+            )
         if self.membership_window_seconds < 0:
-            raise ValueError("membership window cannot be negative")
+            raise FederationSpecError("membership window cannot be negative")
         if self.directory_refresh_seconds <= 0 or self.gossip_period_seconds <= 0:
-            raise ValueError("directory periods must be positive")
+            raise FederationSpecError("directory periods must be positive")
         if not (0.0 <= self.cross_lookup_fraction <= 1.0):
-            raise ValueError("cross-lookup fraction must be in [0, 1]")
+            raise FederationSpecError("cross-lookup fraction must be in [0, 1]")
         if not (0.0 <= self.migrate_fraction <= 1.0):
-            raise ValueError("migrate fraction must be in [0, 1]")
+            raise FederationSpecError("migrate fraction must be in [0, 1]")
         if self.lookup_max_delay < self.lookup_min_delay:
-            raise ValueError("lookup_max_delay must be ≥ lookup_min_delay")
+            raise FederationSpecError(
+                "lookup_max_delay must be ≥ lookup_min_delay"
+            )
         if self.churn_cluster is not None and not (
             0 <= self.churn_cluster < self.cluster_count
         ):
-            raise ValueError("churn_cluster out of range")
+            raise FederationSpecError("churn_cluster out of range")
+        if self.fog_peer_classes is not None and any(
+            not (0 <= peer_id < self.super_peer_count)
+            for peer_id in self.fog_peer_classes
+        ):
+            raise FederationSpecError("fog peer class id out of range")
         if self.membership_window_seconds >= self.duration_seconds:
-            raise ValueError("membership window consumes the whole run")
+            raise FederationSpecError("membership window consumes the whole run")
 
     @property
     def duration_seconds(self) -> float:

@@ -518,6 +518,58 @@ class LookupFailureMonitor(Monitor):
         return ("ok", f"no new lookup failures ({total} total)", 0.0, 0.0)
 
 
+class FogQuarantineMonitor(Monitor):
+    """Warn whenever a super-peer sits in fog quarantine.
+
+    A quarantine is the fog tier working as designed against a
+    misbehaving peer — but it halves the tier's capacity and means
+    re-homed clusters ride a single remaining peer, so the operator
+    should know the moment it happens (and the honest-run contract is
+    that it never does).
+    """
+
+    name = "fog-quarantine"
+
+    def level(self, sample: Dict[str, Any]) -> tuple:
+        quarantined = sample.get("fed_fog_quarantined")
+        if quarantined is None:
+            return ("ok", "no fog tier", None, None)
+        if quarantined > 0:
+            return (
+                "warning",
+                f"{quarantined} super-peer(s) in fog quarantine",
+                float(quarantined),
+                0.0,
+            )
+        return ("ok", "no super-peers quarantined", 0.0, 0.0)
+
+
+class DirectoryDivergenceMonitor(Monitor):
+    """Critical while an active directory replica contradicts a chain.
+
+    Divergent entries are ones whose checkpoint digest fails the
+    cross-check against the summarised cluster's actual chain — honest
+    entries never do (they are built *from* those chains), so any
+    positive count means poison is sitting in a replica lookups still
+    consult.  Recovers once quarantine cuts the poisoned replica out.
+    """
+
+    name = "directory-divergence"
+
+    def level(self, sample: Dict[str, Any]) -> tuple:
+        divergent = sample.get("fed_directory_divergence")
+        if divergent is None:
+            return ("ok", "no fog tier", None, None)
+        if divergent > 0:
+            return (
+                "critical",
+                f"{divergent} directory entr(ies) contradict their cluster chain",
+                float(divergent),
+                0.0,
+            )
+        return ("ok", "directory replicas consistent", 0.0, 0.0)
+
+
 class MonitorSuite:
     """All monitors for a run, plus the accumulated event stream."""
 
@@ -556,6 +608,8 @@ class MonitorSuite:
         monitors: List[Monitor] = [
             DirectoryStalenessMonitor(spec.directory_refresh_seconds),
             LookupFailureMonitor(),
+            FogQuarantineMonitor(),
+            DirectoryDivergenceMonitor(),
         ]
         lifecycle = getattr(spec.config, "lifecycle", None) is not None
         for domain in federation.domains:

@@ -270,10 +270,17 @@ class FederationProbe:
             "queue_depth": federation.engine.queue_depth,
             "cluster_count": len(federation.domains),
             "fed_directory_staleness": federation.fog.directory_staleness(now),
+            "fed_directory_divergence": federation.fog.directory_divergence(),
             "fed_lookups_ok": counters.lookups_ok,
             "fed_lookup_failures": counters.lookups_failed,
+            "fed_lookup_fallbacks": counters.lookup_fallbacks,
             "fed_migrations": counters.migrations,
+            "fed_migrations_rejected": counters.migrations_rejected,
             "fed_gossip_rounds": counters.gossip_rounds,
+            "fed_bloom_fp_probes": counters.bloom_fp_probes,
+            "fed_verify_rejected": counters.verify_rejected,
+            "fed_attestation_rejected": counters.attestation_rejected,
+            "fed_fog_quarantined": len(federation.fog.admission.quarantined),
         }
         for domain in federation.domains:
             prefix = f"c{domain.cluster_id}_"
